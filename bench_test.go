@@ -1,0 +1,216 @@
+// Package randsync's root benchmark harness regenerates the quantities
+// behind every experiment in EXPERIMENTS.md (the paper has no numeric
+// tables; its artifacts are the proof constructions of Figures 1–4 and the
+// §4 separation claims, and each bench below regenerates one of them):
+//
+//	E2  BenchmarkE2LowerBoundIdentical — Lemmas 3.1–3.2 adversary vs r
+//	E3  BenchmarkE3LowerBoundGeneral   — Lemmas 3.4–3.6 adversary vs r
+//	E5  BenchmarkE5ConsensusRegisters  — O(n)-register consensus [9]
+//	E6  BenchmarkE6ConsensusCounters / BenchmarkE6SharedCoin — Theorem 4.2
+//	E7  BenchmarkE7ConsensusFetchAdd   — Theorem 4.4 (one object)
+//	E8  BenchmarkE8ConsensusCAS        — Herlihy [20] (one object)
+//	E9  BenchmarkE9Composition         — Theorem 2.1 (counters ← registers)
+//	E12 BenchmarkE12SpaceGap           — upper vs lower space bound vs n
+//	E13 BenchmarkE13HierarchySearch    — exhaustive protocol-space search
+//
+// Reported metrics: processes/op and events/op for the adversary
+// constructions; objects, registers and sharedops/proc for the consensus
+// protocols; moves/op for the coin.
+package randsync_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"randsync/internal/coin"
+	"randsync/internal/consensus"
+	"randsync/internal/core"
+	"randsync/internal/hierarchy"
+	"randsync/internal/object"
+	"randsync/internal/protocol"
+	"randsync/internal/runtime"
+)
+
+func BenchmarkE2LowerBoundIdentical(b *testing.B) {
+	for r := 2; r <= 6; r++ {
+		b.Run(fmt.Sprintf("r=%d", r), func(b *testing.B) {
+			var procs, events int
+			for i := 0; i < b.N; i++ {
+				w, err := core.FindIdentical(protocol.NewRegisterFlood(r), core.IdenticalOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				procs, events = w.ProcessesUsed(), len(w.Exec)
+			}
+			b.ReportMetric(float64(procs), "processes")
+			b.ReportMetric(float64(events), "events")
+			b.ReportMetric(float64(r*r-r+2), "lemma_bound")
+		})
+	}
+}
+
+func BenchmarkE3LowerBoundGeneral(b *testing.B) {
+	families := []struct {
+		name string
+		mk   func(r int) protocol.Flood
+	}{
+		{"registers", protocol.NewRegisterFlood},
+		{"swap", protocol.NewSwapFlood},
+		{"mixed", protocol.NewMixedFlood},
+	}
+	for _, fam := range families {
+		for r := 1; r <= 4; r++ {
+			b.Run(fmt.Sprintf("%s/r=%d", fam.name, r), func(b *testing.B) {
+				var procs, events int
+				for i := 0; i < b.N; i++ {
+					w, err := core.FindGeneral(fam.mk(r), core.GeneralOptions{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					procs, events = w.ProcessesUsed(), len(w.Exec)
+				}
+				b.ReportMetric(float64(procs), "processes")
+				b.ReportMetric(float64(events), "events")
+				b.ReportMetric(float64(3*r*r+r), "lemma_bound")
+			})
+		}
+	}
+}
+
+// runLive executes one live consensus instance with alternating inputs and
+// returns per-process shared-memory operations.
+func runLive(b *testing.B, p consensus.Protocol, n int) float64 {
+	b.Helper()
+	var wg sync.WaitGroup
+	out := make([]int64, n)
+	for proc := 0; proc < n; proc++ {
+		wg.Add(1)
+		go func(proc int) {
+			defer wg.Done()
+			out[proc] = p.Decide(proc, int64(proc%2))
+		}(proc)
+	}
+	wg.Wait()
+	for _, d := range out[1:] {
+		if d != out[0] {
+			b.Fatalf("consistency violated: %v", out)
+		}
+	}
+	return float64(p.Ops()) / float64(n)
+}
+
+func benchConsensus(b *testing.B, sizes []int, mk func(n int, seed uint64) consensus.Protocol) {
+	for _, n := range sizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var opsPerProc float64
+			var objects, registers int
+			for i := 0; i < b.N; i++ {
+				p := mk(n, uint64(i+1))
+				opsPerProc = runLive(b, p, n)
+				objects, registers = p.Objects(), p.Registers()
+			}
+			b.ReportMetric(opsPerProc, "sharedops/proc")
+			b.ReportMetric(float64(objects), "objects")
+			b.ReportMetric(float64(registers), "registers")
+		})
+	}
+}
+
+func BenchmarkE5ConsensusRegisters(b *testing.B) {
+	benchConsensus(b, []int{2, 4, 8, 16, 32}, func(n int, seed uint64) consensus.Protocol {
+		return consensus.NewRegisters(n, seed)
+	})
+}
+
+func BenchmarkE6ConsensusCounters(b *testing.B) {
+	benchConsensus(b, []int{2, 4, 8, 16, 32, 64}, func(n int, seed uint64) consensus.Protocol {
+		return consensus.NewCounterWalk(n, seed)
+	})
+}
+
+func BenchmarkE6SharedCoin(b *testing.B) {
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			totalMoves := 0
+			for i := 0; i < b.N; i++ {
+				c := coin.New(coin.CounterPosition{C: runtime.NewCounter(nil)}, n, 4)
+				var wg sync.WaitGroup
+				var mu sync.Mutex
+				for p := 0; p < n; p++ {
+					wg.Add(1)
+					go func(p, i int) {
+						defer wg.Done()
+						rng := rand.New(rand.NewPCG(uint64(i), uint64(p)))
+						_, moves := c.Flip(p, rng)
+						mu.Lock()
+						totalMoves += moves
+						mu.Unlock()
+					}(p, i)
+				}
+				wg.Wait()
+			}
+			b.ReportMetric(float64(totalMoves)/float64(b.N), "moves/op")
+			b.ReportMetric(float64((4*n)*(4*n)), "theory_Kn_sq")
+		})
+	}
+}
+
+func BenchmarkE7ConsensusFetchAdd(b *testing.B) {
+	benchConsensus(b, []int{2, 4, 8, 16, 32, 64}, func(n int, seed uint64) consensus.Protocol {
+		p, err := consensus.NewPackedFetchAdd(n, seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return p
+	})
+}
+
+func BenchmarkE8ConsensusCAS(b *testing.B) {
+	benchConsensus(b, []int{2, 4, 8, 16, 32, 64, 128}, func(n int, seed uint64) consensus.Protocol {
+		return consensus.NewCAS()
+	})
+}
+
+func BenchmarkE9Composition(b *testing.B) {
+	benchConsensus(b, []int{2, 4, 8, 16}, func(n int, seed uint64) consensus.Protocol {
+		return consensus.NewCounterWalkFromRegisters(n, seed)
+	})
+}
+
+// BenchmarkE12SpaceGap regenerates the §5 space-gap series: the measured
+// register count of the O(n) upper bound against the Ω(√n) historyless
+// lower bound, per n.
+func BenchmarkE12SpaceGap(b *testing.B) {
+	for _, n := range []int{4, 16, 64, 256, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var regs int
+			for i := 0; i < b.N; i++ {
+				regs = consensus.NewRegisters(n, 1).Registers()
+			}
+			b.ReportMetric(float64(regs), "upper_registers")
+			b.ReportMetric(math.Sqrt(float64(n)), "lower_sqrt_n")
+		})
+	}
+}
+
+// BenchmarkE13HierarchySearch regenerates the exhaustive protocol-space
+// search table (register vs sticky bit).
+func BenchmarkE13HierarchySearch(b *testing.B) {
+	for _, typ := range []object.Type{object.RegisterType{}, object.StickyBitType{}} {
+		b.Run(typ.Name(), func(b *testing.B) {
+			var enumerated, solvers int
+			for i := 0; i < b.N; i++ {
+				res, err := hierarchy.Search(typ, 2)
+				if err != nil {
+					b.Fatal(err)
+				}
+				enumerated, solvers = res.Enumerated, res.Solvers
+			}
+			b.ReportMetric(float64(enumerated), "machines")
+			b.ReportMetric(float64(solvers), "solvers")
+		})
+	}
+}

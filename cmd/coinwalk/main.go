@@ -1,0 +1,92 @@
+// Command coinwalk runs the weak shared coin of Aspnes–Herlihy (the core
+// of Theorems 4.2 and 4.4) and prints agreement statistics and total-move
+// counts (experiment E6): agreement probability is a constant governed by
+// the barrier multiplier K, and expected total moves grow as Θ((Kn)²).
+//
+// Usage:
+//
+//	coinwalk -n 8 -k 4 -trials 50
+//	coinwalk -sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"sync"
+
+	"randsync/internal/coin"
+	"randsync/internal/runtime"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "coinwalk:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("coinwalk", flag.ContinueOnError)
+	n := fs.Int("n", 8, "number of processes")
+	k := fs.Int("k", 4, "barrier multiplier K (barriers at ±K·n)")
+	trials := fs.Int("trials", 50, "number of coin instances")
+	seed := fs.Uint64("seed", 1, "base random seed")
+	sweep := fs.Bool("sweep", false, "sweep n and print the quadratic-moves series")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *sweep {
+		fmt.Printf("%-6s %-10s %-14s %-12s\n", "n", "agree%", "mean moves", "moves/(Kn)²")
+		for _, nn := range []int{2, 4, 8, 16, 32} {
+			agree, moves := measure(nn, *k, *trials, *seed)
+			kn := float64(*k * nn)
+			fmt.Printf("%-6d %-10.0f %-14.0f %-12.2f\n",
+				nn, 100*agree, moves, moves/(kn*kn))
+		}
+		return nil
+	}
+
+	agree, moves := measure(*n, *k, *trials, *seed)
+	fmt.Printf("weak shared coin: n=%d, barriers ±%d, %d trials\n", *n, *k**n, *trials)
+	fmt.Printf("all-process agreement: %.0f%% of trials\n", 100*agree)
+	fmt.Printf("mean total moves per trial: %.0f (theory Θ((Kn)²) = ~%d)\n",
+		moves, (*k**n)*(*k**n))
+	return nil
+}
+
+// measure runs trials of the coin and returns the agreement fraction and
+// the mean total moves.
+func measure(n, k, trials int, seed uint64) (agree float64, meanMoves float64) {
+	agreed, totalMoves := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		c := coin.New(coin.CounterPosition{C: runtime.NewCounter(nil)}, n, k)
+		outcomes := make([]int64, n)
+		moves := make([]int, n)
+		var wg sync.WaitGroup
+		for p := 0; p < n; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewPCG(seed+uint64(trial), uint64(p)))
+				outcomes[p], moves[p] = c.Flip(p, rng)
+			}(p)
+		}
+		wg.Wait()
+		same := true
+		for p := 1; p < n; p++ {
+			if outcomes[p] != outcomes[0] {
+				same = false
+			}
+		}
+		if same {
+			agreed++
+		}
+		for _, m := range moves {
+			totalMoves += m
+		}
+	}
+	return float64(agreed) / float64(trials), float64(totalMoves) / float64(trials)
+}

@@ -1,0 +1,134 @@
+// Command consensus runs the live consensus protocols of §4 at scale and
+// prints the space/work table behind experiments E5–E8: object instances
+// used, registers used, wall time, and total shared-memory operations.
+//
+// Usage:
+//
+//	consensus -n 32 -trials 20
+//	consensus -n 64 -trials 5 -protocols cas,packed-fetch&add
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"randsync/internal/consensus"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "consensus:", err)
+		os.Exit(1)
+	}
+}
+
+// maker builds a fresh protocol instance per trial.
+type maker struct {
+	name string
+	make func(n int, seed uint64) (consensus.Protocol, error)
+}
+
+func allMakers() []maker {
+	return []maker{
+		{"cas", func(n int, _ uint64) (consensus.Protocol, error) { return consensus.NewCAS(), nil }},
+		{"counter-walk", func(n int, seed uint64) (consensus.Protocol, error) {
+			return consensus.NewCounterWalk(n, seed), nil
+		}},
+		{"packed-fetch&add", func(n int, seed uint64) (consensus.Protocol, error) {
+			return consensus.NewPackedFetchAdd(n, seed)
+		}},
+		{"registers", func(n int, seed uint64) (consensus.Protocol, error) {
+			return consensus.NewRegisters(n, seed), nil
+		}},
+		{"counter-walk/registers", func(n int, seed uint64) (consensus.Protocol, error) {
+			return consensus.NewCounterWalkFromRegisters(n, seed), nil
+		}},
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("consensus", flag.ContinueOnError)
+	n := fs.Int("n", 16, "number of processes")
+	trials := fs.Int("trials", 10, "trials per protocol")
+	seed := fs.Uint64("seed", 1, "base random seed")
+	protos := fs.String("protocols", "", "comma-separated subset (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	selected := allMakers()
+	if *protos != "" {
+		want := map[string]bool{}
+		for _, p := range strings.Split(*protos, ",") {
+			want[strings.TrimSpace(p)] = true
+		}
+		var filtered []maker
+		for _, m := range selected {
+			if want[m.name] {
+				filtered = append(filtered, m)
+			}
+		}
+		if len(filtered) == 0 {
+			return fmt.Errorf("no protocols matched %q", *protos)
+		}
+		selected = filtered
+	}
+
+	fmt.Printf("n=%d processes, %d trials per protocol, mixed random inputs\n\n", *n, *trials)
+	fmt.Printf("%-24s %-8s %-10s %-12s %-14s %-10s\n",
+		"protocol", "objects", "registers", "ops/proc", "time/trial", "decided")
+	for _, m := range selected {
+		if err := runProtocol(m, *n, *trials, *seed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runProtocol(m maker, n, trials int, seed uint64) error {
+	var totalOps int64
+	var elapsed time.Duration
+	decisions := map[int64]int{}
+	objects, registers := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		p, err := m.make(n, seed+uint64(trial))
+		if err != nil {
+			return fmt.Errorf("%s: %w", m.name, err)
+		}
+		objects, registers = p.Objects(), p.Registers()
+		rng := rand.New(rand.NewPCG(seed, uint64(trial)))
+		inputs := make([]int64, n)
+		for i := range inputs {
+			inputs[i] = int64(rng.IntN(2))
+		}
+		out := make([]int64, n)
+		start := time.Now()
+		var wg sync.WaitGroup
+		for proc := 0; proc < n; proc++ {
+			wg.Add(1)
+			go func(proc int) {
+				defer wg.Done()
+				out[proc] = p.Decide(proc, inputs[proc])
+			}(proc)
+		}
+		wg.Wait()
+		elapsed += time.Since(start)
+		for _, d := range out[1:] {
+			if d != out[0] {
+				return fmt.Errorf("%s: consistency violated: %v", m.name, out)
+			}
+		}
+		decisions[out[0]]++
+		totalOps += p.Ops()
+	}
+	fmt.Printf("%-24s %-8d %-10d %-12.1f %-14v 0:%d 1:%d\n",
+		m.name, objects, registers,
+		float64(totalOps)/float64(trials*n), elapsed/time.Duration(trials),
+		decisions[0], decisions[1])
+	return nil
+}

@@ -1,0 +1,94 @@
+// Command lowerbound runs the §3 lower-bound adversary against a flawed
+// consensus protocol over historyless objects and prints the verified
+// inconsistent execution it constructs (experiments E1–E3).
+//
+// Usage:
+//
+//	lowerbound -case identical -protocol registers -r 3 -trace
+//	lowerbound -case general   -protocol mixed     -r 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"randsync/internal/core"
+	"randsync/internal/protocol"
+	"randsync/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lowerbound:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lowerbound", flag.ContinueOnError)
+	caseName := fs.String("case", "general", "construction: identical (§3.1, Lemmas 3.1-3.2) or general (§3.2, Lemmas 3.4-3.6)")
+	protoName := fs.String("protocol", "registers", "target protocol objects: registers, swap, or mixed")
+	r := fs.Int("r", 3, "number of historyless objects")
+	reversed := fs.Bool("reversed", false, "flood in preference order (drives the incomparable-sets case, Figure 4)")
+	inverted := fs.Bool("inverted", false, "use an input-inverting flood (demonstrates the validity-witness path)")
+	showTrace := fs.Bool("trace", false, "print the full annotated execution")
+	showLanes := fs.Bool("lanes", false, "print the execution as per-process lanes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var flood protocol.Flood
+	switch *protoName {
+	case "registers":
+		flood = protocol.NewRegisterFlood(*r)
+	case "swap":
+		flood = protocol.NewSwapFlood(*r)
+	case "mixed":
+		flood = protocol.NewMixedFlood(*r)
+	default:
+		return fmt.Errorf("unknown protocol %q (want registers, swap, or mixed)", *protoName)
+	}
+	flood.OrderByPref = *reversed
+	flood.Inverted = *inverted
+
+	var w *core.Witness
+	var err error
+	switch *caseName {
+	case "identical":
+		fmt.Printf("§3.1 construction (identical processes, read-write registers), r=%d\n", *r)
+		fmt.Printf("Theorem 3.3 bound: at most r²−r+1 = %d identical processes can solve consensus\n", *r**r-*r+1)
+		w, err = core.FindIdentical(flood, core.IdenticalOptions{})
+	case "general":
+		fmt.Printf("§3.2 construction (general historyless objects), r=%d\n", *r)
+		fmt.Printf("Lemma 3.6 bound: no implementation for 3r²+r = %d or more processes\n", 3**r**r+*r)
+		w, err = core.FindGeneral(flood, core.GeneralOptions{})
+	default:
+		return fmt.Errorf("unknown case %q (want identical or general)", *caseName)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Println()
+	fmt.Print(trace.Summarize(w))
+	fmt.Println()
+	fmt.Print(trace.BlockWrites(w))
+	if *showTrace {
+		fmt.Println()
+		annotated, err := trace.Annotate(w.Proto, w.Inputs, w.Exec)
+		if err != nil {
+			return err
+		}
+		fmt.Print(annotated)
+	}
+	if *showLanes {
+		fmt.Println()
+		lanes, err := trace.Lanes(w.Proto, w.Inputs, w.Exec)
+		if err != nil {
+			return err
+		}
+		fmt.Print(lanes)
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+// Shared object from registers and randomization alone.
+//
+// Deterministically, read-write registers cannot even solve 2-process
+// consensus — so they cannot implement any of the stronger objects.  With
+// randomization the picture flips (§1: randomization "opens the
+// possibility of using randomization to implement concurrent objects
+// without resorting to non-resilient mutual exclusion"): this example
+// builds a wait-free linearizable FETCH&ADD register for four goroutines
+// out of nothing but read-write registers, by running Herlihy's universal
+// construction over the randomized register-only consensus protocol.
+//
+// Every operation below is lock-free all the way down: the consensus
+// layers spin on register collects and local coin flips, never on a mutex.
+//
+// Run with: go run ./examples/sharedobject
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"randsync/internal/consensus"
+	"randsync/internal/object"
+	"randsync/internal/universal"
+)
+
+const n = 4
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sharedobject:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	registersOnly := func(n int, seed uint64) universal.BinaryConsensus {
+		return consensus.NewRegisters(n, seed)
+	}
+	obj, err := universal.New(object.FetchAddType{}, n, registersOnly, universal.Options{
+		MaxOps: 64,
+		Seed:   7,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("a fetch&add register built from read-write registers + randomization")
+	fmt.Println()
+
+	type result struct {
+		proc  int
+		op    int
+		prev  int64
+		delta int64
+	}
+	results := make(chan result, n*3)
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				delta := int64(p + 1)
+				prev, err := obj.Apply(p, object.Op{Kind: object.FetchAdd, Arg: delta})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "apply:", err)
+					return
+				}
+				results <- result{proc: p, op: i, prev: prev, delta: delta}
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(results)
+
+	var want int64
+	for r := range results {
+		fmt.Printf("goroutine %d op %d: fetch&add(%d) returned %d\n", r.proc, r.op, r.delta, r.prev)
+		want += r.delta
+	}
+
+	final, err := obj.Read(0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nfinal value: %d (sum of all deltas: %d)\n", final, want)
+	if final != want {
+		return fmt.Errorf("value mismatch — linearizability broken")
+	}
+	fmt.Println("every increment accounted for exactly once: the object is linearizable")
+	return nil
+}

@@ -1,0 +1,3 @@
+module randsync
+
+go 1.22

@@ -1,0 +1,378 @@
+// Package consensus implements the paper's consensus upper bounds as live
+// goroutine algorithms over the shared objects of package runtime:
+//
+//   - one compare&swap register, deterministic, any n (Herlihy [20],
+//     behind Corollary 4.1);
+//   - one test&set / swap / fetch&add / fetch&increment object plus two
+//     registers, deterministic, n = 2 (the §4 warm-ups);
+//   - three counters driving a random walk, randomized, any n
+//     (Aspnes [7], the published basis of Theorem 4.2);
+//   - a single fetch&add register with the three walk fields packed into
+//     one word, randomized, any n (Theorem 4.4);
+//   - O(n) read-write registers (Aspnes–Herlihy [9]): conciliator +
+//     adopt-commit rounds with a weak shared coin — the protocol whose
+//     simulator twin is exhaustively safety-checked by package valency;
+//   - the Theorem 2.1 composition: the three-counter protocol with each
+//     counter replaced by a register-based implementation (package
+//     counting), multiplying the object counts.
+//
+// Every implementation reports its object-instance usage — the quantity
+// the paper's space-complexity separation is about — and counts shared-
+// memory operations for the work benchmarks.
+package consensus
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync/atomic"
+
+	"randsync/internal/counting"
+	"randsync/internal/runtime"
+)
+
+// Protocol is a live, single-shot, n-process binary consensus object.
+// Each process may call Decide at most once, with its pid and an input in
+// {0, 1}; all calls return the same value, which is some caller's input.
+type Protocol interface {
+	// Name identifies the protocol in benchmark output.
+	Name() string
+	// Decide performs proc's DECIDE operation.
+	Decide(proc int, input int64) int64
+	// Objects returns the number of non-register object instances used.
+	Objects() int
+	// Registers returns the number of read-write registers used (the
+	// wait-free hierarchy grants these freely; the separation results
+	// count them separately).
+	Registers() int
+	// Ops returns the total number of shared-object operations performed
+	// so far, for the work measurements (E5–E7).
+	Ops() int64
+}
+
+// rngs builds one deterministic PCG generator per process.
+func rngs(n int, seed uint64) []*rand.Rand {
+	out := make([]*rand.Rand, n)
+	for i := range out {
+		out[i] = rand.New(rand.NewPCG(seed, uint64(i)+1))
+	}
+	return out
+}
+
+// CASConsensus is n-process consensus from a single compare&swap register.
+type CASConsensus struct {
+	cas *runtime.CAS
+	ops atomic.Int64
+}
+
+const casEmpty = -1
+
+// NewCAS returns a CAS-based consensus instance.
+func NewCAS() *CASConsensus {
+	return &CASConsensus{cas: runtime.NewCAS(casEmpty, nil)}
+}
+
+// Name implements Protocol.
+func (c *CASConsensus) Name() string { return "cas" }
+
+// Objects implements Protocol.
+func (c *CASConsensus) Objects() int { return 1 }
+
+// Registers implements Protocol.
+func (c *CASConsensus) Registers() int { return 0 }
+
+// Ops implements Protocol.
+func (c *CASConsensus) Ops() int64 { return c.ops.Load() }
+
+// Decide implements Protocol.
+func (c *CASConsensus) Decide(proc int, input int64) int64 {
+	c.ops.Add(1)
+	if prev := c.cas.CompareAndSwap(proc, casEmpty, input); prev != casEmpty {
+		return prev
+	}
+	return input
+}
+
+// ordering abstracts the one-shot "who came first" object of the
+// two-process protocols.
+type ordering interface {
+	// fire performs the ordering operation and reports whether the caller
+	// was first.
+	fire(proc int) bool
+	name() string
+}
+
+type tasOrdering struct{ t *runtime.TestAndSet }
+
+func (o tasOrdering) fire(proc int) bool { return o.t.TestAndSet(proc) == 0 }
+func (o tasOrdering) name() string       { return "tas-2" }
+
+type swapOrdering struct{ s *runtime.SwapRegister }
+
+func (o swapOrdering) fire(proc int) bool { return o.s.Swap(proc, 1) == 0 }
+func (o swapOrdering) name() string       { return "swap-2" }
+
+type faddOrdering struct{ f *runtime.FetchAdd }
+
+func (o faddOrdering) fire(proc int) bool { return o.f.FetchAdd(proc, 1) == 0 }
+func (o faddOrdering) name() string       { return "fetch&add-2" }
+
+type fincOrdering struct{ f *runtime.FetchInc }
+
+func (o fincOrdering) fire(proc int) bool { return o.f.FetchInc(proc) == 0 }
+func (o fincOrdering) name() string       { return "fetch&inc-2" }
+
+// TwoProcess is deterministic 2-process consensus from one ordering
+// object (test&set, swap, fetch&add or fetch&inc) plus two registers: §4's
+// observation that any operation whose first response differs from its
+// second solves 2-process consensus.
+type TwoProcess struct {
+	ord ordering
+	pub [2]*runtime.Register
+	ops atomic.Int64
+}
+
+// NewTAS2 returns 2-process consensus from one test&set register.
+func NewTAS2() *TwoProcess { return newTwo(tasOrdering{runtime.NewTestAndSet(nil)}) }
+
+// NewSwap2 returns 2-process consensus from one swap register.
+func NewSwap2() *TwoProcess { return newTwo(swapOrdering{runtime.NewSwapRegister(0, nil)}) }
+
+// NewFetchAdd2 returns 2-process consensus from one fetch&add register.
+func NewFetchAdd2() *TwoProcess { return newTwo(faddOrdering{runtime.NewFetchAdd(0, nil)}) }
+
+// NewFetchInc2 returns 2-process consensus from one fetch&inc register.
+func NewFetchInc2() *TwoProcess { return newTwo(fincOrdering{runtime.NewFetchInc(nil)}) }
+
+func newTwo(ord ordering) *TwoProcess {
+	return &TwoProcess{
+		ord: ord,
+		pub: [2]*runtime.Register{runtime.NewRegister(casEmpty, nil), runtime.NewRegister(casEmpty, nil)},
+	}
+}
+
+// Name implements Protocol.
+func (t *TwoProcess) Name() string { return t.ord.name() }
+
+// Objects implements Protocol.
+func (t *TwoProcess) Objects() int { return 1 }
+
+// Registers implements Protocol.
+func (t *TwoProcess) Registers() int { return 2 }
+
+// Ops implements Protocol.
+func (t *TwoProcess) Ops() int64 { return t.ops.Load() }
+
+// Decide implements Protocol; proc must be 0 or 1.
+func (t *TwoProcess) Decide(proc int, input int64) int64 {
+	t.ops.Add(2)
+	t.pub[proc].Write(proc, input)
+	if t.ord.fire(proc) {
+		return input
+	}
+	t.ops.Add(1)
+	return t.pub[1-proc].Read(proc)
+}
+
+// counter is the counter interface the random walk needs; implemented by
+// *runtime.Counter (one counter object) and *counting.SnapshotCounter
+// (n registers, for the Theorem 2.1 composition).
+type counter interface {
+	Inc(proc int)
+	Dec(proc int)
+	Read(proc int) int64
+}
+
+var (
+	_ counter = (*runtime.Counter)(nil)
+	_ counter = (*counting.SnapshotCounter)(nil)
+)
+
+// walk runs the Aspnes random-walk loop of [7] (see the simulator twin in
+// package protocol for the consistency analysis): announce the input on
+// c0/c1, then move the cursor — deterministically in the drift zones
+// |k| ≥ n, by the announcement tallies while one side is absent, by fair
+// local flips otherwise — until it is absorbed at ±3n.
+func walk(proc int, input int64, n int64, c0, c1, cur counter, rng *rand.Rand, ops *atomic.Int64) int64 {
+	if input == 1 {
+		c1.Inc(proc)
+	} else {
+		c0.Inc(proc)
+	}
+	ops.Add(1)
+	for {
+		k := cur.Read(proc)
+		ops.Add(1)
+		switch {
+		case k >= 3*n:
+			return 1
+		case k <= -3*n:
+			return 0
+		case k >= n:
+			cur.Inc(proc)
+			ops.Add(1)
+			continue
+		case k <= -n:
+			cur.Dec(proc)
+			ops.Add(1)
+			continue
+		}
+		a, b := c0.Read(proc), c1.Read(proc)
+		ops.Add(2)
+		switch {
+		case b == 0:
+			cur.Dec(proc)
+		case a == 0:
+			cur.Inc(proc)
+		case rng.IntN(2) == 1:
+			cur.Inc(proc)
+		default:
+			cur.Dec(proc)
+		}
+		ops.Add(1)
+	}
+}
+
+// CounterWalk is randomized n-process consensus from three counters
+// (Aspnes [7], Theorem 4.2's published basis).
+type CounterWalk struct {
+	n           int64
+	c0, c1, cur counter
+	rng         []*rand.Rand
+	ops         atomic.Int64
+	objects     int
+	registers   int
+	nameStr     string
+}
+
+// NewCounterWalk returns a three-counter instance for n processes.
+func NewCounterWalk(n int, seed uint64) *CounterWalk {
+	return &CounterWalk{
+		n:       int64(n),
+		c0:      runtime.NewCounter(nil),
+		c1:      runtime.NewCounter(nil),
+		cur:     runtime.NewCounter(nil),
+		rng:     rngs(n, seed),
+		objects: 3,
+		nameStr: "counter-walk",
+	}
+}
+
+// NewCounterWalkFromRegisters returns the Theorem 2.1 composition: the
+// same protocol with each counter implemented from n read-write registers
+// (package counting), for 3n registers and zero non-register objects.
+func NewCounterWalkFromRegisters(n int, seed uint64) *CounterWalk {
+	return &CounterWalk{
+		n:         int64(n),
+		c0:        counting.NewSnapshotCounter(n),
+		c1:        counting.NewSnapshotCounter(n),
+		cur:       counting.NewSnapshotCounter(n),
+		rng:       rngs(n, seed),
+		registers: 3 * n,
+		nameStr:   "counter-walk/registers",
+	}
+}
+
+// Name implements Protocol.
+func (c *CounterWalk) Name() string { return c.nameStr }
+
+// Objects implements Protocol.
+func (c *CounterWalk) Objects() int { return c.objects }
+
+// Registers implements Protocol.
+func (c *CounterWalk) Registers() int { return c.registers }
+
+// Ops implements Protocol.
+func (c *CounterWalk) Ops() int64 { return c.ops.Load() }
+
+// Decide implements Protocol.
+func (c *CounterWalk) Decide(proc int, input int64) int64 {
+	return walk(proc, input, c.n, c.c0, c.c1, c.cur, c.rng[proc], &c.ops)
+}
+
+// Packed-field layout for the single fetch&add word; see the simulator
+// twin in package protocol for the analysis.
+const (
+	pfaFieldBits = 20
+	pfaUnitC0    = 1
+	pfaUnitC1    = 1 << pfaFieldBits
+	pfaUnitCur   = 1 << (2 * pfaFieldBits)
+	pfaMask      = 1<<pfaFieldBits - 1
+	pfaCurOffset = 1 << (pfaFieldBits + 2)
+
+	// MaxPackedN is the largest n PackedFetchAdd supports.
+	MaxPackedN = 1<<(pfaFieldBits-3) - 1
+)
+
+// PackedFetchAdd is randomized n-process consensus from a single
+// fetch&add register (Theorem 4.4): the three counters of the walk packed
+// into fields of one word, each fetch&add returning an atomic snapshot of
+// all three.
+type PackedFetchAdd struct {
+	n   int64
+	f   *runtime.FetchAdd
+	rng []*rand.Rand
+	ops atomic.Int64
+}
+
+// NewPackedFetchAdd returns an instance for n ≤ MaxPackedN processes.
+func NewPackedFetchAdd(n int, seed uint64) (*PackedFetchAdd, error) {
+	if n > MaxPackedN {
+		return nil, fmt.Errorf("consensus: n=%d exceeds MaxPackedN=%d", n, MaxPackedN)
+	}
+	return &PackedFetchAdd{
+		n:   int64(n),
+		f:   runtime.NewFetchAdd(int64(pfaCurOffset)*pfaUnitCur, nil),
+		rng: rngs(n, seed),
+	}, nil
+}
+
+// Name implements Protocol.
+func (p *PackedFetchAdd) Name() string { return "packed-fetch&add" }
+
+// Objects implements Protocol.
+func (p *PackedFetchAdd) Objects() int { return 1 }
+
+// Registers implements Protocol.
+func (p *PackedFetchAdd) Registers() int { return 0 }
+
+// Ops implements Protocol.
+func (p *PackedFetchAdd) Ops() int64 { return p.ops.Load() }
+
+// Decide implements Protocol.
+func (p *PackedFetchAdd) Decide(proc int, input int64) int64 {
+	add := func(delta int64) int64 {
+		p.ops.Add(1)
+		return p.f.FetchAdd(proc, delta)
+	}
+	if input == 1 {
+		add(pfaUnitC1)
+	} else {
+		add(pfaUnitC0)
+	}
+	rng := p.rng[proc]
+	n := p.n
+	for {
+		w := add(0)
+		a := w & pfaMask
+		b := (w >> pfaFieldBits) & pfaMask
+		k := (w >> (2 * pfaFieldBits)) - pfaCurOffset
+		switch {
+		case k >= 3*n:
+			return 1
+		case k <= -3*n:
+			return 0
+		case k >= n:
+			add(pfaUnitCur)
+		case k <= -n:
+			add(-pfaUnitCur)
+		case b == 0:
+			add(-pfaUnitCur)
+		case a == 0:
+			add(pfaUnitCur)
+		case rng.IntN(2) == 1:
+			add(pfaUnitCur)
+		default:
+			add(-pfaUnitCur)
+		}
+	}
+}

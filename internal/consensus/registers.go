@@ -1,0 +1,177 @@
+package consensus
+
+import (
+	"math/rand/v2"
+	"sync/atomic"
+
+	"randsync/internal/runtime"
+)
+
+// Registers is randomized n-process binary consensus from O(n) read-write
+// registers (Aspnes–Herlihy [9]), the upper bound the paper contrasts with
+// its Ω(√n) historyless lower bound.
+//
+// Structure per round r (see the exhaustively model-checked simulator twin
+// protocol.RegisterConsensus for the safety analysis):
+//
+//  1. Conciliator: mark proposed[pref] with r, flip the round's weak
+//     shared coin, and adopt the coin's value if it was proposed.  The
+//     coin is a collect-counter random walk with barriers at ±3n whose
+//     per-process contributions live in round-tagged registers.
+//  2. Adopt-commit (Gafni-style, two collect phases over single-writer
+//     registers A and B): commit — decide — when every round-r entry seen
+//     carries a clean flag and nobody is ahead; otherwise adopt a
+//     committed value if one is visible and continue.
+//
+// Safety holds for arbitrary coin outcomes; the coin only bounds the
+// expected number of rounds (constant agreement probability per round).
+//
+// The implementation uses 3n+2 registers: A[n] + B[n] + coin[n] +
+// proposed[2].
+type Registers struct {
+	n        int
+	a        []*runtime.Register
+	b        []*runtime.Register
+	coins    []*runtime.Register
+	proposed [2]*runtime.Register
+	rng      []*rand.Rand
+	barrier  int64
+	ops      atomic.Int64
+}
+
+var _ Protocol = (*Registers)(nil)
+
+// NewRegisters returns a register-only consensus instance for n processes.
+func NewRegisters(n int, seed uint64) *Registers {
+	r := &Registers{
+		n:       n,
+		a:       make([]*runtime.Register, n),
+		b:       make([]*runtime.Register, n),
+		coins:   make([]*runtime.Register, n),
+		rng:     rngs(n, seed),
+		barrier: int64(3 * n),
+	}
+	for i := 0; i < n; i++ {
+		r.a[i] = runtime.NewRegister(0, nil)
+		r.b[i] = runtime.NewRegister(0, nil)
+		r.coins[i] = runtime.NewRegister(0, nil)
+	}
+	r.proposed[0] = runtime.NewRegister(0, nil)
+	r.proposed[1] = runtime.NewRegister(0, nil)
+	return r
+}
+
+// Name implements Protocol.
+func (c *Registers) Name() string { return "registers" }
+
+// Objects implements Protocol: no non-register objects.
+func (c *Registers) Objects() int { return 0 }
+
+// Registers implements Protocol.
+func (c *Registers) Registers() int { return 3*c.n + 2 }
+
+// Ops implements Protocol.
+func (c *Registers) Ops() int64 { return c.ops.Load() }
+
+// packA / packB mirror the simulator twin's layouts.
+func rcPackA(r, v int64) int64         { return r<<1 | v }
+func rcUnpackA(x int64) (int64, int64) { return x >> 1, x & 1 }
+
+func rcPackB(r int64, flag bool, v int64) int64 {
+	f := int64(0)
+	if flag {
+		f = 1
+	}
+	return r<<2 | f<<1 | v
+}
+
+func rcUnpackB(x int64) (int64, bool, int64) { return x >> 2, x>>1&1 == 1, x & 1 }
+
+// packCoin stores (round, delta) with the signed delta in the low 32 bits.
+func packCoin(r, delta int64) int64 { return r<<32 | int64(uint32(int32(delta))) }
+
+func unpackCoin(x int64) (r, delta int64) { return x >> 32, int64(int32(uint32(x))) }
+
+// sharedCoin runs the round-r weak shared coin on behalf of proc: a
+// random walk of the sum of round-tagged per-process contributions, with
+// absorbing barriers at ±3n.
+func (c *Registers) sharedCoin(proc int, round int64) int64 {
+	var delta int64
+	c.coins[proc].Write(proc, packCoin(round, 0))
+	c.ops.Add(1)
+	for {
+		var sum int64
+		for j := 0; j < c.n; j++ {
+			r, d := unpackCoin(c.coins[j].Read(proc))
+			if r == round {
+				sum += d
+			}
+		}
+		c.ops.Add(int64(c.n))
+		switch {
+		case sum >= c.barrier:
+			return 1
+		case sum <= -c.barrier:
+			return 0
+		}
+		if c.rng[proc].IntN(2) == 1 {
+			delta++
+		} else {
+			delta--
+		}
+		c.coins[proc].Write(proc, packCoin(round, delta))
+		c.ops.Add(1)
+	}
+}
+
+// Decide implements Protocol.
+func (c *Registers) Decide(proc int, input int64) int64 {
+	pref := input
+	for round := int64(1); ; round++ {
+		// Conciliator: mark, flip, maybe adopt.
+		c.proposed[pref].Write(proc, round)
+		c.ops.Add(1)
+		coin := c.sharedCoin(proc, round)
+		if c.proposed[coin].Read(proc) >= round {
+			pref = coin
+		}
+		c.ops.Add(1)
+
+		// Adopt-commit phase 1.
+		c.a[proc].Write(proc, rcPackA(round, pref))
+		c.ops.Add(1)
+		conflict := false
+		for j := 0; j < c.n; j++ {
+			r, v := rcUnpackA(c.a[j].Read(proc))
+			if r > round || (r == round && v != pref) {
+				conflict = true
+			}
+		}
+		c.ops.Add(int64(c.n))
+
+		// Adopt-commit phase 2.
+		c.b[proc].Write(proc, rcPackB(round, !conflict, pref))
+		c.ops.Add(1)
+		anyHigher, anyFalseR := false, false
+		trueVal := int64(-1)
+		for j := 0; j < c.n; j++ {
+			r, flag, v := rcUnpackB(c.b[j].Read(proc))
+			switch {
+			case r > round:
+				anyHigher = true
+			case r == round && !flag:
+				anyFalseR = true
+			case r == round && flag:
+				trueVal = v
+			}
+		}
+		c.ops.Add(int64(c.n))
+
+		if !anyHigher && !anyFalseR {
+			return pref
+		}
+		if trueVal >= 0 {
+			pref = trueVal
+		}
+	}
+}

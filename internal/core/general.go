@@ -1,0 +1,589 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"randsync/internal/object"
+	"randsync/internal/sim"
+)
+
+// GeneralOptions configure FindGeneral.
+type GeneralOptions struct {
+	// MaxSolo bounds the length of solo terminating executions searched
+	// for; 0 means an automatic bound derived from the object count.
+	MaxSolo int
+	// Processes overrides the number of processes used; 0 means the
+	// 3r²+r of Lemma 3.6 plus one extra process per side (rounded up to
+	// even).  The extra pair covers the v̄=0 corner of Lemma 3.4: with
+	// exactly (3r²+r)/2 processes a side can reach the final recursion
+	// level with P = P̂, leaving no process to run to a decision after
+	// the last block write; one surplus process per side propagates
+	// through the recursion (|P′| ≥ bound′ + slack whenever |P| ≥ bound +
+	// slack) and guarantees a decider.
+	Processes int
+}
+
+func (o GeneralOptions) maxSolo(r int) int {
+	if o.MaxSolo > 0 {
+		return o.MaxSolo
+	}
+	return 8*(r+2)*(r+2) + 64
+}
+
+func (o GeneralOptions) processes(r int) int {
+	n := o.Processes
+	if n <= 0 {
+		n = 3*r*r + r + 2
+	}
+	if n%2 == 1 {
+		n++
+	}
+	return n
+}
+
+// gPiece is one piece of an interruptible execution (Definition 3.1): a
+// block write to objs by writers — processes that take no further steps in
+// the execution — followed by solo segments whose nontrivial operations all
+// target objs.
+type gPiece struct {
+	objs    []int       // V_i, sorted
+	writers map[int]int // object → block-writing pid
+	events  sim.Execution
+	decided bool // a process decided within this piece (last piece only)
+}
+
+// gExec is a recorded interruptible execution (Definition 3.1) starting
+// from some configuration: pieces with strictly growing object sets, ending
+// in a decision.  Excess capacity (Definition 3.2) is not stored: the
+// combiner re-discovers poised outsider processes by scanning the
+// configuration, and the arithmetic of Lemmas 3.4–3.6 guarantees the scans
+// succeed.
+type gExec struct {
+	initial regSet       // V = V_1
+	procs   map[int]bool // process set P
+	pieces  []gPiece
+	value   int64 // the value decided at the end
+}
+
+// participants returns every process taking a step in the (pending)
+// pieces of the execution.  This is a superset of the writers and segment
+// runners still to come; processes carved as excess capacity during the
+// build may also appear here if their pre-carving segment steps lie in a
+// pending piece, in which case their current poise is already consumed by
+// this execution and they must not be donated to the opposing side.
+func (g *gExec) participants() map[int]bool {
+	out := make(map[int]bool)
+	for _, p := range g.pieces {
+		for _, ev := range p.events {
+			out[ev.Pid] = true
+		}
+	}
+	return out
+}
+
+// events returns the concatenated events of all pieces.
+func (g *gExec) events() sim.Execution {
+	var out sim.Execution
+	for _, p := range g.pieces {
+		out = append(out, p.events...)
+	}
+	return out
+}
+
+// rest returns the interruptible execution with the first piece removed;
+// by Definition 3.1 it is interruptible from the configuration reached by
+// the first piece.
+func (g *gExec) rest() *gExec {
+	return &gExec{
+		initial: newRegSet(g.pieces[1].objs...),
+		procs:   g.procs,
+		pieces:  g.pieces[1:],
+		value:   g.value,
+	}
+}
+
+// generalAdversary carries the state of one FindGeneral run.
+type generalAdversary struct {
+	proto   sim.Protocol
+	types   []object.Type
+	maxSolo int
+	r       int
+}
+
+// poisedMap scans the configuration and returns, for each object, the
+// sorted pids of eligible processes poised at it.
+func (ad *generalAdversary) poisedMap(c *sim.Config, eligible map[int]bool) map[int][]int {
+	out := make(map[int][]int)
+	for pid := 0; pid < c.N(); pid++ {
+		if eligible != nil && !eligible[pid] {
+			continue
+		}
+		if obj, ok := c.PoisedAt(pid); ok {
+			out[obj] = append(out[obj], pid)
+		}
+	}
+	for _, pids := range out {
+		sort.Ints(pids)
+	}
+	return out
+}
+
+// soloTruncated advances pid solo from c until it decides or is poised at
+// an object outside v, following a solo terminating execution (Lemma 3.4's
+// δ segments).  The applied events are returned.
+func (ad *generalAdversary) soloTruncated(c *sim.Config, pid int, v regSet) (sim.Execution, error) {
+	full, _, ok := sim.SoloTerminate(c, pid, ad.maxSolo)
+	if !ok {
+		return nil, fmt.Errorf("core: no solo terminating execution for P%d within %d steps; protocol may lack nondeterministic solo termination", pid, ad.maxSolo)
+	}
+	cut := len(full)
+	for i, ev := range full {
+		if obj, ok := nontrivialTarget(ad.types, ev); ok && !v[obj] {
+			cut = i
+			break
+		}
+	}
+	seg := full[:cut]
+	if err := c.Apply(seg); err != nil {
+		return nil, fmt.Errorf("core: applying solo segment of P%d: %w", pid, err)
+	}
+	return seg, nil
+}
+
+// sortedPids returns the members of a pid set in increasing order.
+func sortedPids(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for pid := range set {
+		out = append(out, pid)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// build mechanizes Lemma 3.4: from base (not modified), construct an
+// interruptible execution with initial object set v and process set procs
+// that has excess capacity e for u.
+//
+// Preconditions (the caller's arithmetic, per the lemma): at base there are
+// at least v̄+1 processes of procs poised at every object of v, at least e
+// processes outside procs poised at every object of v∩u, and |procs| ≥
+// (r²+r−v²+v)/2 + e·|v̄∩u|.
+func (ad *generalAdversary) build(base *sim.Config, v regSet, procs map[int]bool, u regSet, e int) (*gExec, error) {
+	c := base.Clone()
+	out := &gExec{initial: v.clone()}
+	cur := v.clone()
+	active := make(map[int]bool, len(procs))
+	for pid := range procs {
+		active[pid] = true
+	}
+	// carved collects the excess reservations E of Lemma 3.4: processes
+	// set aside, poised at newly added objects, that take no steps in the
+	// execution.  They realize the excess capacity of Definition 3.2 and
+	// are excluded from the resulting process set so that the Lemma 3.5
+	// combiner can donate them to the opposing side.
+	carved := make(map[int]bool)
+
+	for {
+		vbar := ad.r - len(cur)
+
+		// Select P̂ ⊆ active: v̄+1 processes poised at each object of cur;
+		// the first becomes the block writer (P₁).
+		poised := ad.poisedMap(c, active)
+		phat := make(map[int]bool)
+		writers := make(map[int]int, len(cur))
+		for _, obj := range cur.sorted() {
+			cands := poised[obj]
+			if len(cands) < vbar+1 {
+				return nil, fmt.Errorf("core: build: only %d processes poised at R%d, need v̄+1 = %d",
+					len(cands), obj, vbar+1)
+			}
+			for _, pid := range cands[:vbar+1] {
+				phat[pid] = true
+			}
+			writers[obj] = cands[0]
+		}
+
+		// Block write to cur by the writers.
+		var events sim.Execution
+		for _, obj := range cur.sorted() {
+			pid := writers[obj]
+			if got, ok := c.PoisedAt(pid); !ok || got != obj {
+				return nil, fmt.Errorf("core: build: P%d not poised at R%d for block write", pid, obj)
+			}
+			ev, err := c.Step(pid, 0)
+			if err != nil {
+				return nil, err
+			}
+			events = append(events, ev)
+		}
+
+		// δ segments: every process of active−P̂ runs until it decides or
+		// is poised at an object outside cur.
+		decided := false
+		for _, pid := range sortedPids(active) {
+			if phat[pid] {
+				continue
+			}
+			seg, err := ad.soloTruncated(c, pid, cur)
+			if err != nil {
+				return nil, err
+			}
+			events = append(events, seg...)
+			if c.Decided[pid] {
+				out.value = c.Decision[pid]
+				decided = true
+				break
+			}
+		}
+		out.pieces = append(out.pieces, gPiece{
+			objs: cur.sorted(), writers: writers, events: events, decided: decided,
+		})
+		if decided {
+			out.procs = activeMinus(procs, carved)
+			return out, nil
+		}
+		if vbar == 0 {
+			return nil, fmt.Errorf("core: build: all %d objects covered but no process decided; process set too small", ad.r)
+		}
+
+		// Lemma 3.4's counting argument: find i ∈ {1..v̄} such that the
+		// objects of v̄∩ū with ≥ i poised processes (y_i) plus those of
+		// v̄∩u with ≥ e+i poised processes (z_{e+i}) cover v̄−i+1 objects.
+		poised = ad.poisedMap(c, activeMinus(active, phat))
+		found := false
+		for i := 1; i <= vbar; i++ {
+			var ys, zs []int
+			for obj := 0; obj < ad.r; obj++ {
+				if cur[obj] {
+					continue
+				}
+				n := len(poised[obj])
+				if u[obj] {
+					if n >= e+i {
+						zs = append(zs, obj)
+					}
+				} else if n >= i {
+					ys = append(ys, obj)
+				}
+			}
+			need := vbar - i + 1
+			if len(ys)+len(zs) < need {
+				continue
+			}
+			// Choose exactly `need` objects, preferring y-objects (they
+			// cost no excess reservations).
+			if len(ys) > need {
+				ys = ys[:need]
+			}
+			if len(ys)+len(zs) > need {
+				zs = zs[:need-len(ys)]
+			}
+			// Carve the excess reservations E: e processes poised at each
+			// chosen z-object leave the active set and become the excess
+			// capacity for u at the next configuration.
+			for _, obj := range zs {
+				cands := poised[obj]
+				// Keep the first i as members of P' poised at obj; the
+				// next e become excess.
+				for _, pid := range cands[i : i+e] {
+					delete(active, pid)
+					carved[pid] = true
+				}
+			}
+			// The block writers of this piece take no further steps.
+			for _, pid := range writers {
+				delete(active, pid)
+			}
+			for _, obj := range ys {
+				cur[obj] = true
+			}
+			for _, obj := range zs {
+				cur[obj] = true
+			}
+			found = true
+			break
+		}
+		if !found {
+			return nil, fmt.Errorf("core: build: counting argument failed with %d active processes and v̄=%d; process set too small", len(active), vbar)
+		}
+	}
+}
+
+// activeMinus returns a − b as a fresh set.
+func activeMinus(a, b map[int]bool) map[int]bool {
+	out := make(map[int]bool, len(a))
+	for pid := range a {
+		if !b[pid] {
+			out[pid] = true
+		}
+	}
+	return out
+}
+
+// applyPiece replays one piece of an interruptible execution on c.  The
+// block-write events are replayed flexibly: the writer's pending action
+// must match, but the response is recomputed — the value of a historyless
+// object after the block write does not depend on its prior value, and the
+// writers take no further steps, so their diverging responses are
+// invisible (the observation after Definition 3.1).  All other events are
+// replayed strictly.  The (possibly response-rewritten) events are
+// returned.
+func (ad *generalAdversary) applyPiece(c *sim.Config, p gPiece) (sim.Execution, error) {
+	out := make(sim.Execution, 0, len(p.events))
+	nbw := len(p.objs)
+	for i, ev := range p.events {
+		if i < nbw {
+			pending := c.Pending(ev.Pid)
+			if pending != ev.Action {
+				return nil, fmt.Errorf("core: block-write replay: P%d pending %v, recorded %v",
+					ev.Pid, pending, ev.Action)
+			}
+			got, err := c.Step(ev.Pid, 0)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, got)
+		} else {
+			if err := c.Apply(sim.Execution{ev}); err != nil {
+				return nil, fmt.Errorf("core: piece replay: %w", err)
+			}
+			out = append(out, ev)
+		}
+	}
+	return out, nil
+}
+
+// combine mechanizes Lemma 3.5: a and b are interruptible executions from
+// c deciding different values, with disjoint process sets; the result is an
+// execution from c (applied to it) deciding both values.
+func (ad *generalAdversary) combine(c *sim.Config, a, b *gExec) (sim.Execution, error) {
+	if a.value == b.value {
+		return nil, fmt.Errorf("core: combine with equal decision values %d", a.value)
+	}
+	if a.initial.subsetOf(b.initial) {
+		return ad.caseSubsetG(c, a, b)
+	}
+	if b.initial.subsetOf(a.initial) {
+		return ad.caseSubsetG(c, b, a)
+	}
+	return ad.caseNeitherG(c, a, b)
+}
+
+// caseSubsetG handles x.initial ⊆ y.initial: x's first piece is performed;
+// its nontrivial operations all target x.initial ⊆ y.initial, so y's block
+// write to y.initial obliterates them and y remains interruptible from the
+// new configuration.
+func (ad *generalAdversary) caseSubsetG(c *sim.Config, x, y *gExec) (sim.Execution, error) {
+	out, err := ad.applyPiece(c, x.pieces[0])
+	if err != nil {
+		return nil, err
+	}
+	if x.pieces[0].decided {
+		// x has decided; run all of y.
+		for _, p := range y.pieces {
+			evs, err := ad.applyPiece(c, p)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, evs...)
+		}
+		return out, nil
+	}
+	if len(x.pieces) < 2 {
+		return nil, fmt.Errorf("core: interruptible execution ended without deciding")
+	}
+	rest, err := ad.combine(c, x.rest(), y)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, rest...), nil
+}
+
+// caseNeitherG handles incomparable initial sets (the second half of the
+// Lemma 3.5 proof): extend each side to U = V ∪ W with poised processes
+// drawn from the other side's excess capacity, and recurse on a pair whose
+// combined co-size v̄+w̄ strictly decreased.
+func (ad *generalAdversary) caseNeitherG(c *sim.Config, a, b *gExec) (sim.Execution, error) {
+	u := a.initial.union(b.initial)
+
+	aExt, err := ad.extendG(c, a, b, u)
+	if err != nil {
+		return nil, err
+	}
+	if aExt.value == a.value {
+		return ad.combine(c, aExt, b)
+	}
+	bExt, err := ad.extendG(c, b, a, u)
+	if err != nil {
+		return nil, err
+	}
+	if bExt.value == b.value {
+		return ad.combine(c, a, bExt)
+	}
+	// aExt decides b's value and bExt decides a's value; both have initial
+	// object set U, so the subset case applies and terminates.
+	return ad.combine(c, bExt, aExt)
+}
+
+// extendG builds an interruptible execution with initial object set u ⊋
+// x.initial and a process set extending x.procs by ū+1 poised processes
+// (not in y.procs) per object of u − x.initial, with excess capacity
+// |complement(y.initial)| for that complement.
+func (ad *generalAdversary) extendG(c *sim.Config, x, y *gExec, u regSet) (*gExec, error) {
+	ubar := ad.r - len(u)
+	procs := make(map[int]bool, len(x.procs))
+	for pid := range x.procs {
+		procs[pid] = true
+	}
+	// A donor's poise must not already be consumed by a pending piece of
+	// the opposing execution: exclude y's process set and everyone taking
+	// a step in y's remaining pieces.
+	reserved := y.participants()
+	for pid := range y.procs {
+		reserved[pid] = true
+	}
+	poised := ad.poisedMap(c, nil)
+	for _, obj := range u.minus(x.initial).sorted() {
+		found := 0
+		for _, pid := range poised[obj] {
+			if found == ubar+1 {
+				break
+			}
+			if reserved[pid] {
+				continue
+			}
+			procs[pid] = true
+			found++
+		}
+		if found < ubar+1 {
+			return nil, fmt.Errorf("core: extend: only %d eligible processes poised at R%d, need ū+1 = %d",
+				found, obj, ubar+1)
+		}
+	}
+	yBar := ad.complement(y.initial)
+	return ad.build(c, u, procs, yBar, len(yBar))
+}
+
+// complement returns the set of all objects not in s.
+func (ad *generalAdversary) complement(s regSet) regSet {
+	out := make(regSet)
+	for obj := 0; obj < ad.r; obj++ {
+		if !s[obj] {
+			out[obj] = true
+		}
+	}
+	return out
+}
+
+// FindGeneral mechanizes Lemma 3.6 / Theorem 3.7: given a protocol over r
+// historyless objects satisfying nondeterministic solo termination, run
+// with 3r²+r processes (half with input 0, half with input 1), it
+// constructs a verified execution deciding both 0 and 1.
+//
+// If an interruptible execution by processes that all share an input
+// decides the opposite value, that execution is itself a validity
+// violation (in the configuration where every process has that input), and
+// is returned as a ValidityViolation witness instead.
+func FindGeneral(proto sim.Protocol, opts GeneralOptions) (*Witness, error) {
+	if err := historylessOnly(proto); err != nil {
+		return nil, err
+	}
+	types := proto.Objects()
+	r := len(types)
+	if r == 0 {
+		return nil, fmt.Errorf("core: %s uses no objects", proto.Name())
+	}
+	ad := &generalAdversary{
+		proto:   proto,
+		types:   types,
+		maxSolo: opts.maxSolo(r),
+		r:       r,
+	}
+
+	// The deep incomparable-sets recursions of Lemma 3.5 consume poised
+	// donor processes via configuration scans; our scan-based accounting
+	// can starve slightly earlier than the paper's (delicate) bookkeeping,
+	// so on pool exhaustion we retry with a larger pool.  The asymptotic
+	// shape — O(r²) processes defeat any solo-terminating protocol on r
+	// historyless objects — is unaffected.
+	n := opts.processes(r)
+	var lastErr error
+	for attempt := 0; attempt < 4; attempt++ {
+		w, err := findGeneralOnce(ad, proto, n)
+		if err == nil {
+			return w, nil
+		}
+		lastErr = err
+		n = n + n/2
+		if n%2 == 1 {
+			n++
+		}
+	}
+	return nil, lastErr
+}
+
+// findGeneralOnce runs the Lemma 3.6 construction with a fixed pool size.
+func findGeneralOnce(ad *generalAdversary, proto sim.Protocol, n int) (*Witness, error) {
+	r := ad.r
+	inputs := make([]int64, n)
+	pSet := make(map[int]bool, n/2)
+	qSet := make(map[int]bool, n/2)
+	for i := 0; i < n; i++ {
+		if i < n/2 {
+			pSet[i] = true
+		} else {
+			inputs[i] = 1
+			qSet[i] = true
+		}
+	}
+
+	initial := sim.NewConfig(proto, inputs)
+	all := ad.complement(newRegSet())
+
+	a, err := ad.build(initial, newRegSet(), pSet, all, r)
+	if err != nil {
+		return nil, fmt.Errorf("core: building α: %w", err)
+	}
+	if a.value != 0 {
+		return validityWitness(proto, n, 0, a)
+	}
+	b, err := ad.build(initial, newRegSet(), qSet, all, r)
+	if err != nil {
+		return nil, fmt.Errorf("core: building β: %w", err)
+	}
+	if b.value != 1 {
+		return validityWitness(proto, n, 1, b)
+	}
+
+	work := initial.Clone()
+	exec, err := ad.combine(work, a, b)
+	if err != nil {
+		return nil, err
+	}
+	w := &Witness{Proto: proto, Inputs: inputs, Exec: exec}
+	if err := w.Verify(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// validityWitness packages an interruptible execution whose participants
+// all have input `input` but which decided another value: replayed in the
+// configuration where every process has that input, it violates validity.
+func validityWitness(proto sim.Protocol, n int, input int64, g *gExec) (*Witness, error) {
+	inputs := make([]int64, n)
+	for i := range inputs {
+		inputs[i] = input
+	}
+	w := &Witness{
+		Proto:  proto,
+		Inputs: inputs,
+		Exec:   g.events(),
+		Kind:   ValidityViolation,
+	}
+	if err := w.Verify(); err != nil {
+		return nil, fmt.Errorf("core: validity witness does not verify: %w", err)
+	}
+	return w, nil
+}

@@ -1,0 +1,498 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"randsync/internal/object"
+	"randsync/internal/sim"
+)
+
+// IdenticalOptions configure FindIdentical.
+type IdenticalOptions struct {
+	// MaxSolo bounds the length of solo terminating executions searched
+	// for; 0 means an automatic bound derived from the object count.
+	MaxSolo int
+	// PoolPerInput is the number of processes allocated per input value;
+	// 0 means an automatic bound (2r²+2r+4) comfortably above the
+	// r²−r+2 processes Lemma 3.2 needs.
+	PoolPerInput int
+}
+
+func (o IdenticalOptions) maxSolo(r int) int {
+	if o.MaxSolo > 0 {
+		return o.MaxSolo
+	}
+	return 8*(r+2)*(r+2) + 64
+}
+
+func (o IdenticalOptions) poolPerInput(r int) int {
+	if o.PoolPerInput > 0 {
+		return o.PoolPerInput
+	}
+	return 2*r*r + 2*r + 4
+}
+
+// rwSide is one half of the Lemma 3.1 setup: a set V of registers, a
+// disjoint set of processes poised at them (one writer per register), and a
+// solo execution by one of those writers that, run immediately after the
+// block write to V, decides value.
+type rwSide struct {
+	regs    regSet      // V
+	writers map[int]int // register → pid poised to write it
+	runner  int         // ∈ writers: performs suffix after the block write
+	suffix  sim.Execution
+	value   int64
+}
+
+// ref identifies one event in the constructed execution: the idx-th event
+// performed by process pid.  Clone pedigrees are lists of refs.
+type ref struct{ pid, idx int }
+
+// identicalAdversary carries the state of one FindIdentical run.
+//
+// Cloning soundness: §3.1's clones are processes "given the same initial
+// state as P and scheduled as a group" with P, re-performing each of P's
+// steps immediately after P.  During construction we teleport clones into
+// captured source states (so the builder can continue), while recording a
+// pedigree — the list of source events the clone must re-perform.  At the
+// end, materialize inserts those warm-up copies immediately after the
+// corresponding source events, yielding a legal execution from the true
+// initial configuration; the final replay verifies every response matches.
+// Re-performing is sound precisely because the objects are read-write
+// registers: a duplicated write re-installs the same value and a
+// duplicated read sees the value its source just saw.
+type identicalAdversary struct {
+	proto   sim.Protocol
+	types   []object.Type
+	free    map[int64][]int // input value → unused process slots
+	maxSolo int
+
+	histCount map[int]int   // events performed per pid in the constructed execution
+	pedigree  map[int][]ref // clone pid → source events to re-perform
+}
+
+// alloc pops an unused process slot with the given input.
+func (ad *identicalAdversary) alloc(input int64) (int, error) {
+	pool := ad.free[input]
+	if len(pool) == 0 {
+		return 0, fmt.Errorf("core: process pool for input %d exhausted", input)
+	}
+	pid := pool[len(pool)-1]
+	ad.free[input] = pool[:len(pool)-1]
+	return pid, nil
+}
+
+// stepCounted performs pid's pending action on the construction
+// configuration, recording it in the per-process event count.
+func (ad *identicalAdversary) stepCounted(c *sim.Config, pid int, outcome int64) (sim.Event, error) {
+	ev, err := c.Step(pid, outcome)
+	if err != nil {
+		return ev, err
+	}
+	ad.histCount[pid]++
+	return ev, nil
+}
+
+// applyCounted replays recorded events on the construction configuration,
+// verifying each and counting them.
+func (ad *identicalAdversary) applyCounted(c *sim.Config, events sim.Execution) error {
+	for _, ev := range events {
+		if err := c.Apply(sim.Execution{ev}); err != nil {
+			return err
+		}
+		ad.histCount[ev.Pid]++
+	}
+	return nil
+}
+
+// registerClone records that clone re-performs src's first upTo events
+// (plus src's own inherited pedigree).
+func (ad *identicalAdversary) registerClone(clone, src, upTo int) {
+	refs := append([]ref(nil), ad.pedigree[src]...)
+	for i := 0; i < upTo; i++ {
+		refs = append(refs, ref{pid: src, idx: i})
+	}
+	ad.pedigree[clone] = refs
+}
+
+// materialize turns the constructed execution (which assumed teleported
+// clones) into a legal execution from the initial configuration by
+// inserting each clone's warm-up steps immediately after the corresponding
+// source events.
+func (ad *identicalAdversary) materialize(constructed sim.Execution) sim.Execution {
+	followers := make(map[ref][]int)
+	for clone, refs := range ad.pedigree {
+		for _, r := range refs {
+			followers[r] = append(followers[r], clone)
+		}
+	}
+	for _, f := range followers {
+		sort.Ints(f)
+	}
+	occ := make(map[int]int)
+	out := make(sim.Execution, 0, len(constructed))
+	for _, ev := range constructed {
+		out = append(out, ev)
+		r := ref{pid: ev.Pid, idx: occ[ev.Pid]}
+		occ[ev.Pid]++
+		for _, clone := range followers[r] {
+			out = append(out, sim.Event{Pid: clone, Action: ev.Action, Result: ev.Result})
+		}
+	}
+	return out
+}
+
+// FindIdentical mechanizes Lemma 3.2 / Theorem 3.3: given a protocol over
+// read-write registers whose processes are identical and which satisfies
+// nondeterministic solo termination, it constructs a verified execution
+// deciding both 0 and 1.
+//
+// The construction follows the proof: take solo terminating executions of
+// a 0-input process p and a 1-input process q, run both up to their first
+// writes, and hand the resulting configuration to the Lemma 3.1 combiner,
+// which splices the remainders together using clones.
+func FindIdentical(proto sim.Protocol, opts IdenticalOptions) (*Witness, error) {
+	if !proto.Identical() {
+		return nil, fmt.Errorf("core: %s does not have identical processes; use FindGeneral", proto.Name())
+	}
+	types := proto.Objects()
+	for i, t := range types {
+		if _, isReg := t.(object.RegisterType); !isReg {
+			return nil, fmt.Errorf("core: FindIdentical requires read-write registers; R%d is %s",
+				i, t.Name())
+		}
+	}
+	r := len(types)
+	if r == 0 {
+		return nil, fmt.Errorf("core: %s uses no objects", proto.Name())
+	}
+
+	perInput := opts.poolPerInput(r)
+	inputs := make([]int64, 2*perInput)
+	free := map[int64][]int{0: nil, 1: nil}
+	for i := perInput; i < 2*perInput; i++ {
+		inputs[i] = 1
+	}
+	p, q := 0, perInput
+	// Reserve p and q; remaining slots form the clone pools (in reverse
+	// order so low pids are used first, for readable traces).
+	for i := 2*perInput - 1; i >= 0; i-- {
+		if i == p || i == q {
+			continue
+		}
+		free[inputs[i]] = append(free[inputs[i]], i)
+	}
+
+	ad := &identicalAdversary{
+		proto:     proto,
+		types:     types,
+		free:      free,
+		maxSolo:   opts.maxSolo(r),
+		histCount: make(map[int]int),
+		pedigree:  make(map[int][]ref),
+	}
+
+	initial := sim.NewConfig(proto, inputs)
+
+	alpha, dec0, ok := sim.SoloTerminate(initial, p, ad.maxSolo)
+	if !ok {
+		return nil, fmt.Errorf("core: no solo terminating execution for P%d within %d steps; protocol may lack nondeterministic solo termination", p, ad.maxSolo)
+	}
+	if dec0 != 0 {
+		return nil, fmt.Errorf("core: solo execution of 0-input process decides %d; protocol violates solo validity", dec0)
+	}
+	beta, dec1, ok := sim.SoloTerminate(initial, q, ad.maxSolo)
+	if !ok {
+		return nil, fmt.Errorf("core: no solo terminating execution for P%d within %d steps", q, ad.maxSolo)
+	}
+	if dec1 != 1 {
+		return nil, fmt.Errorf("core: solo execution of 1-input process decides %d; protocol violates solo validity", dec1)
+	}
+
+	wa := firstWrite(types, alpha)
+	wb := firstWrite(types, beta)
+
+	// Lemma 3.2, easy cases: an execution with no writes is invisible, so
+	// the two solo executions compose directly.
+	var exec sim.Execution
+	switch {
+	case wa < 0:
+		exec = append(append(sim.Execution{}, alpha...), beta...)
+	case wb < 0:
+		exec = append(append(sim.Execution{}, beta...), alpha...)
+	default:
+		// γ: both prefixes before the first writes (they contain no
+		// writes, so they compose); C is the configuration after γ.
+		gamma := append(append(sim.Execution{}, alpha[:wa]...), beta[:wb]...)
+		work := initial.Clone()
+		if err := ad.applyCounted(work, gamma); err != nil {
+			return nil, fmt.Errorf("core: prefix composition failed: %w", err)
+		}
+		a := rwSide{
+			regs:    newRegSet(alpha[wa].Action.Obj),
+			writers: map[int]int{alpha[wa].Action.Obj: p},
+			runner:  p,
+			suffix:  alpha[wa+1:],
+			value:   0,
+		}
+		b := rwSide{
+			regs:    newRegSet(beta[wb].Action.Obj),
+			writers: map[int]int{beta[wb].Action.Obj: q},
+			runner:  q,
+			suffix:  beta[wb+1:],
+			value:   1,
+		}
+		rest, err := ad.combine(work, a, b)
+		if err != nil {
+			return nil, err
+		}
+		exec = ad.materialize(append(gamma, rest...))
+	}
+
+	w := &Witness{Proto: proto, Inputs: inputs, Exec: exec}
+	if err := w.Verify(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// firstWrite returns the index of the first nontrivial operation in exec,
+// or -1 if there is none.
+func firstWrite(types []object.Type, exec sim.Execution) int {
+	for i, ev := range exec {
+		if _, ok := nontrivialTarget(types, ev); ok {
+			return i
+		}
+	}
+	return -1
+}
+
+// verifyPoised checks that pid's pending action is a nontrivial operation
+// on reg.
+func (ad *identicalAdversary) verifyPoised(c *sim.Config, pid, reg int) error {
+	a := c.Pending(pid)
+	if obj, ok := nontrivialTarget(ad.types, sim.Event{Action: a}); !ok || obj != reg {
+		return fmt.Errorf("core: P%d should be poised at R%d but is at %v", pid, reg, a)
+	}
+	return nil
+}
+
+// blockWrite performs the block write to s.regs by s.writers on c.  When
+// counted is true the steps become part of the constructed execution.
+func (ad *identicalAdversary) blockWrite(c *sim.Config, s rwSide, counted bool) (sim.Execution, error) {
+	var out sim.Execution
+	for _, reg := range s.regs.sorted() {
+		pid := s.writers[reg]
+		if err := ad.verifyPoised(c, pid, reg); err != nil {
+			return nil, err
+		}
+		var ev sim.Event
+		var err error
+		if counted {
+			ev, err = ad.stepCounted(c, pid, 0)
+		} else {
+			ev, err = c.Step(pid, 0)
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}
+
+// combine implements the induction of Lemma 3.1: from configuration c, the
+// side a decides a.value after a block write to a.regs and a solo run by
+// a.runner; b symmetrically; their process sets are disjoint; the result is
+// an execution from c deciding both values.  combine owns (and mutates) c.
+func (ad *identicalAdversary) combine(c *sim.Config, a, b rwSide) (sim.Execution, error) {
+	if a.value == b.value {
+		return nil, fmt.Errorf("core: combine with equal decision values %d", a.value)
+	}
+	if a.regs.subsetOf(b.regs) {
+		return ad.caseSubset(c, a, b)
+	}
+	if b.regs.subsetOf(a.regs) {
+		return ad.caseSubset(c, b, a)
+	}
+	return ad.caseIncomparable(c, a, b)
+}
+
+// caseSubset handles x.regs ⊆ y.regs (the first case of Lemma 3.1; x plays
+// the role of (V, P, α) and y of (W, Q, β); x and y may decide either
+// value as long as they differ).
+func (ad *identicalAdversary) caseSubset(c *sim.Config, x, y rwSide) (sim.Execution, error) {
+	// Find the first write in x's solo execution to a register outside
+	// y.regs.
+	idx := -1
+	for i, ev := range x.suffix {
+		if obj, ok := nontrivialTarget(ad.types, ev); ok && !y.regs[obj] {
+			idx = i
+			break
+		}
+	}
+
+	if idx < 0 {
+		// All of x's writes land inside y.regs: perform x's block write
+		// and solo execution, then y's block write obliterates every
+		// trace of them, and y's solo execution decides the other value
+		// (Figures 1 and 2).
+		exec, err := ad.blockWrite(c, x, true)
+		if err != nil {
+			return nil, err
+		}
+		if err := ad.applyCounted(c, x.suffix); err != nil {
+			return nil, fmt.Errorf("core: replaying α after block write: %w", err)
+		}
+		exec = append(exec, x.suffix...)
+		bw, err := ad.blockWrite(c, y, true)
+		if err != nil {
+			return nil, err
+		}
+		exec = append(exec, bw...)
+		if err := ad.applyCounted(c, y.suffix); err != nil {
+			return nil, fmt.Errorf("core: replaying β after block write: %w", err)
+		}
+		return append(exec, y.suffix...), nil
+	}
+
+	// Otherwise (Figure 3): execute x's block write and solo prefix up to
+	// (but excluding) the write to R ∉ y.regs, capturing for each register
+	// in x.regs the state of its last writer immediately before that
+	// write.  Clones parked in those states re-perform the writes later,
+	// so x's side can re-fix the registers of V; recurse with V' = V∪{R}.
+	type capture struct {
+		state sim.State
+		src   int
+		upTo  int // events src had performed before the captured write
+	}
+	last := make(map[int]capture)
+
+	var delta sim.Execution
+	for _, reg := range x.regs.sorted() {
+		pid := x.writers[reg]
+		if err := ad.verifyPoised(c, pid, reg); err != nil {
+			return nil, err
+		}
+		pre := c.States[pid]
+		upTo := ad.histCount[pid]
+		ev, err := ad.stepCounted(c, pid, 0)
+		if err != nil {
+			return nil, err
+		}
+		delta = append(delta, ev)
+		last[reg] = capture{state: pre, src: pid, upTo: upTo}
+	}
+	for _, ev := range x.suffix[:idx] {
+		pre := c.States[ev.Pid]
+		upTo := ad.histCount[ev.Pid]
+		if err := ad.applyCounted(c, sim.Execution{ev}); err != nil {
+			return nil, fmt.Errorf("core: replaying α prefix: %w", err)
+		}
+		delta = append(delta, ev)
+		if obj, ok := nontrivialTarget(ad.types, ev); ok && x.regs[obj] {
+			last[obj] = capture{state: pre, src: ev.Pid, upTo: upTo}
+		}
+	}
+
+	writers := make(map[int]int, len(x.regs)+1)
+	for _, reg := range x.regs.sorted() {
+		cap, ok := last[reg]
+		if !ok {
+			return nil, fmt.Errorf("core: no write to R%d captured in δ", reg)
+		}
+		clone, err := ad.alloc(c.Inputs[cap.src])
+		if err != nil {
+			return nil, err
+		}
+		c.SetState(clone, cap.state)
+		ad.registerClone(clone, cap.src, cap.upTo)
+		writers[reg] = clone
+	}
+
+	r := x.suffix[idx].Action.Obj
+	writers[r] = x.runner
+	xPrime := rwSide{
+		regs:    x.regs.clone(),
+		writers: writers,
+		runner:  x.runner,
+		suffix:  x.suffix[idx+1:],
+		value:   x.value,
+	}
+	xPrime.regs[r] = true
+
+	rest, err := ad.combine(c, xPrime, y)
+	if err != nil {
+		return nil, err
+	}
+	return append(delta, rest...), nil
+}
+
+// caseIncomparable handles the case where neither register set contains
+// the other (Figure 4): extend both sides to U = V ∪ W using clones of the
+// other side's poised writers, probe the decisions of solo executions
+// following a block write to U, and recurse on a pair whose measure
+// v̄ + w̄ has strictly decreased.
+func (ad *identicalAdversary) caseIncomparable(c *sim.Config, a, b rwSide) (sim.Execution, error) {
+	u := a.regs.union(b.regs)
+
+	// α-side extension P' = P ∪ clones of b's writers poised at W − V.
+	aExt, err := ad.extend(c, a, b, u)
+	if err != nil {
+		return nil, err
+	}
+	if aExt.value == a.value {
+		return ad.combine(c, aExt, b)
+	}
+	// γ decided b.value; build the symmetric extension.
+	bExt, err := ad.extend(c, b, a, u)
+	if err != nil {
+		return nil, err
+	}
+	if bExt.value == b.value {
+		return ad.combine(c, a, bExt)
+	}
+	// aExt decides b.value and bExt decides a.value: both sides now have
+	// initial register set U, so the subset case applies and terminates.
+	return ad.combine(c, bExt, aExt)
+}
+
+// extend builds the side (U, x.writers ∪ clones of y's writers poised at
+// U−x.regs) and finds the decision of a solo execution by x.runner after a
+// block write to U.  Clones are installed in c (they take no steps until
+// used); the probe runs on a scratch copy of c.
+func (ad *identicalAdversary) extend(c *sim.Config, x, y rwSide, u regSet) (rwSide, error) {
+	writers := make(map[int]int, len(u))
+	for reg, pid := range x.writers {
+		writers[reg] = pid
+	}
+	for _, reg := range u.minus(x.regs).sorted() {
+		src, ok := y.writers[reg]
+		if !ok {
+			return rwSide{}, fmt.Errorf("core: no writer poised at R%d to clone", reg)
+		}
+		clone, err := ad.alloc(c.Inputs[src])
+		if err != nil {
+			return rwSide{}, err
+		}
+		if err := c.CloneProcess(src, clone); err != nil {
+			return rwSide{}, err
+		}
+		ad.registerClone(clone, src, ad.histCount[src])
+		writers[reg] = clone
+	}
+	ext := rwSide{regs: u.clone(), writers: writers, runner: x.runner}
+
+	probe := c.Clone()
+	if _, err := ad.blockWrite(probe, ext, false); err != nil {
+		return rwSide{}, err
+	}
+	suffix, val, ok := sim.SoloTerminate(probe, ext.runner, ad.maxSolo)
+	if !ok {
+		return rwSide{}, fmt.Errorf("core: no solo terminating execution for P%d after block write to U", ext.runner)
+	}
+	ext.suffix = suffix
+	ext.value = val
+	return ext, nil
+}

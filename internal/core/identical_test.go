@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+
+	"randsync/internal/object"
+	"randsync/internal/protocol"
+	"randsync/internal/sim"
+)
+
+// TestFindIdenticalRegisterFlood runs the §3.1 adversary against the
+// register Flood protocol for a range of register counts r and checks the
+// Theorem 3.3 accounting: the witness uses at most r²−r+2 identical
+// processes (the paper shows r²−r+2 suffice; Theorem 3.3 states at most
+// r²−r+1 can solve consensus).
+func TestFindIdenticalRegisterFlood(t *testing.T) {
+	for r := 1; r <= 6; r++ {
+		w, err := FindIdentical(protocol.NewRegisterFlood(r), IdenticalOptions{})
+		if err != nil {
+			t.Fatalf("r=%d: %v", r, err)
+		}
+		used := w.ProcessesUsed()
+		bound := r*r - r + 2
+		t.Logf("r=%d: witness of %d events using %d processes (Lemma 3.2 bound %d)",
+			r, len(w.Exec), used, bound)
+		if used > bound {
+			t.Errorf("r=%d: witness uses %d processes, more than the r²−r+2 = %d of Lemma 3.2",
+				r, used, bound)
+		}
+		if len(w.Decisions) != 2 {
+			t.Errorf("r=%d: decisions = %v, want both values", r, w.Decisions)
+		}
+	}
+}
+
+// TestFindIdenticalOrderByPref drives the adversary through the
+// incomparable-sets case (Figure 4): processes with preference 1 flood in
+// reverse order, so the two solo executions first write different
+// registers.
+func TestFindIdenticalOrderByPref(t *testing.T) {
+	for r := 2; r <= 6; r++ {
+		p := protocol.NewRegisterFlood(r)
+		p.OrderByPref = true
+		w, err := FindIdentical(p, IdenticalOptions{})
+		if err != nil {
+			t.Fatalf("r=%d: %v", r, err)
+		}
+		used := w.ProcessesUsed()
+		t.Logf("r=%d (reversed): witness of %d events using %d processes",
+			r, len(w.Exec), used)
+		// The incomparable case may clone both sides; allow the general
+		// Lemma 3.1 process bound with v=w=1 plus the probe's extra side.
+		bound := 2 * (r*r - r + 2)
+		if used > bound {
+			t.Errorf("r=%d: witness uses %d processes, above 2(r²−r+2) = %d", r, used, bound)
+		}
+	}
+}
+
+// TestWitnessIsReplayableFromScratch re-verifies the witness on a fresh
+// configuration, independently of the adversary's bookkeeping.
+func TestWitnessIsReplayableFromScratch(t *testing.T) {
+	w, err := FindIdentical(protocol.NewRegisterFlood(3), IdenticalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sim.NewConfig(w.Proto, w.Inputs)
+	if err := c.Apply(w.Exec); err != nil {
+		t.Fatalf("independent replay failed: %v", err)
+	}
+	d := c.Decisions()
+	if len(d[0]) == 0 || len(d[1]) == 0 {
+		t.Fatalf("replayed decisions = %v, want both 0 and 1 decided", d)
+	}
+}
+
+// TestWitnessTamperDetected checks that Verify rejects corrupted witnesses.
+func TestWitnessTamperDetected(t *testing.T) {
+	w, err := FindIdentical(protocol.NewRegisterFlood(2), IdenticalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Exec) < 3 {
+		t.Fatal("witness unexpectedly short")
+	}
+	w.Exec[1], w.Exec[2] = w.Exec[2], w.Exec[1]
+	if err := w.Verify(); err == nil {
+		// Swapping adjacent events of different processes can be legal;
+		// corrupt a response instead.
+		w.Exec[0].Result = 77
+		if err := w.Verify(); err == nil {
+			t.Fatal("Verify accepted a corrupted witness")
+		}
+	}
+}
+
+// TestFindIdenticalRejectsNonIdentical ensures the §3.1 construction is
+// refused where cloning would be unsound.
+func TestFindIdenticalRejectsNonIdentical(t *testing.T) {
+	if _, err := FindIdentical(protocol.RegisterNaive2{}, IdenticalOptions{}); err == nil {
+		t.Fatal("expected error for non-identical protocol")
+	}
+}
+
+// TestFindIdenticalRejectsNonRegisters ensures the §3.1 construction is
+// refused for objects where re-performing writes is unsound.
+func TestFindIdenticalRejectsNonRegisters(t *testing.T) {
+	if _, err := FindIdentical(protocol.NewSwapFlood(2), IdenticalOptions{}); err == nil {
+		t.Fatal("expected error for swap objects in the identical-process case")
+	}
+	if _, err := FindIdentical(protocol.CASConsensus{}, IdenticalOptions{}); err == nil {
+		t.Fatal("expected error for compare&swap objects")
+	}
+}
+
+// TestRegSetOps covers the small set algebra used by the combiners.
+func TestRegSetOps(t *testing.T) {
+	a := newRegSet(1, 2)
+	b := newRegSet(2, 3)
+	if got := a.union(b).sorted(); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("union = %v", got)
+	}
+	if got := a.minus(b).sorted(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("minus = %v", got)
+	}
+	if got := a.intersect(b).sorted(); len(got) != 1 || got[0] != 2 {
+		t.Errorf("intersect = %v", got)
+	}
+	if a.subsetOf(b) || !a.subsetOf(a.union(b)) {
+		t.Error("subsetOf misbehaves")
+	}
+	if !a.clone().equal(a) || a.equal(b) {
+		t.Error("clone/equal misbehaves")
+	}
+}
+
+// TestNontrivialTarget pins down poise detection.
+func TestNontrivialTarget(t *testing.T) {
+	types := []object.Type{object.RegisterType{}}
+	read := sim.Event{Action: sim.Action{Kind: sim.ActOperate, Obj: 0, Op: object.Op{Kind: object.Read}}}
+	write := sim.Event{Action: sim.Action{Kind: sim.ActOperate, Obj: 0, Op: object.Op{Kind: object.Write, Arg: 1}}}
+	flip := sim.Event{Action: sim.Action{Kind: sim.ActFlip, Sides: 2}}
+	if _, ok := nontrivialTarget(types, read); ok {
+		t.Error("read is trivial")
+	}
+	if obj, ok := nontrivialTarget(types, write); !ok || obj != 0 {
+		t.Error("write should be nontrivial on R0")
+	}
+	if _, ok := nontrivialTarget(types, flip); ok {
+		t.Error("flip is not an operation")
+	}
+}

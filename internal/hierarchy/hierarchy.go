@@ -1,0 +1,302 @@
+// Package hierarchy performs exhaustive protocol-space searches: it
+// enumerates *every* protocol in a bounded class — identical processes
+// running a small state machine over a single shared object — and model
+// checks each for deterministic wait-free 2-process consensus.
+//
+// This turns the wait-free hierarchy facts the paper builds on (§1:
+// read-write registers cannot solve 2-process consensus; objects like
+// compare&swap or sticky bits can) from per-protocol demonstrations into
+// quantified-over-all-protocols results, within the bounded class:
+//
+//   - over one register, zero of the thousands of candidate machines
+//     solve consensus (a miniature of Loui–Abu-Amara/FLP [26, 16]);
+//   - over one sticky bit, working machines exist, and the search finds
+//     them.
+//
+// The machine class: states 0..F-1 are free (enumerated action +
+// transition tables); two designated terminal states decide 0 and 1.  A
+// process's input selects its start state.  Processes are identical.
+package hierarchy
+
+import (
+	"fmt"
+
+	"randsync/internal/object"
+	"randsync/internal/sim"
+	"randsync/internal/valency"
+)
+
+// actionSpec is one enumerable action: an operation plus a transition
+// table mapping the response to the next state.
+type actionSpec struct {
+	op object.Op
+	// next[resp] is the successor state for each possible response,
+	// indexed by the response's position in the type's response domain.
+	next []int
+}
+
+// Machine is one enumerated protocol: identical processes, a single
+// shared object, free states with enumerated actions, and two decide
+// states.
+type Machine struct {
+	Type   object.Type
+	Free   []actionSpec // actions of the free states
+	Start0 int          // start state for input 0
+	Start1 int          // start state for input 1
+	id     uint64
+}
+
+var _ sim.Protocol = Machine{}
+
+// The decide states follow the free states.
+func (m Machine) decide0State() int { return len(m.Free) }
+func (m Machine) decide1State() int { return len(m.Free) + 1 }
+
+// Name implements sim.Protocol.
+func (m Machine) Name() string {
+	return fmt.Sprintf("machine(%s,#%d)", m.Type.Name(), m.id)
+}
+
+// Objects implements sim.Protocol.
+func (m Machine) Objects() []object.Type { return []object.Type{m.Type} }
+
+// Identical implements sim.Protocol.
+func (Machine) Identical() bool { return true }
+
+// Init implements sim.Protocol.
+func (m Machine) Init(pid, n int, input int64) sim.State {
+	start := m.Start0
+	if input == 1 {
+		start = m.Start1
+	}
+	return machineState{m: m, state: start}
+}
+
+type machineState struct {
+	m     Machine
+	state int
+}
+
+var _ sim.State = machineState{}
+
+// Action implements sim.State.
+func (s machineState) Action() sim.Action {
+	switch s.state {
+	case s.m.decide0State():
+		return sim.Action{Kind: sim.ActDecide, Value: 0}
+	case s.m.decide1State():
+		return sim.Action{Kind: sim.ActDecide, Value: 1}
+	}
+	return sim.Action{Kind: sim.ActOperate, Obj: 0, Op: s.m.Free[s.state].op}
+}
+
+// Advance implements sim.State.
+func (s machineState) Advance(result int64) sim.State {
+	if s.state >= len(s.m.Free) {
+		return sim.Halted{}
+	}
+	spec := s.m.Free[s.state]
+	idx := responseIndex(s.m.Type, spec.op, result)
+	if idx < 0 || idx >= len(spec.next) {
+		// Out-of-domain response: treat as self-loop (the checker then
+		// reports livelock, disqualifying the machine).
+		return s
+	}
+	s.state = spec.next[idx]
+	return s
+}
+
+// Key implements sim.State.
+func (s machineState) Key() string { return fmt.Sprintf("m%d", s.state) }
+
+// domain describes the object's value set and per-op response domains for
+// the enumeration.
+type domain struct {
+	values []int64 // possible object values
+	ops    []object.Op
+	// resps[i] is the response domain of ops[i].
+	resps [][]int64
+}
+
+// domainFor returns the enumeration domain for the supported types.
+func domainFor(t object.Type) (domain, error) {
+	switch t.(type) {
+	case object.RegisterType:
+		// Values: 0 (initial), 1, 2 (the two proposals).
+		return domain{
+			values: []int64{0, 1, 2},
+			ops: []object.Op{
+				{Kind: object.Read},
+				{Kind: object.Write, Arg: 1},
+				{Kind: object.Write, Arg: 2},
+			},
+			resps: [][]int64{{0, 1, 2}, {0}, {0}},
+		}, nil
+	case object.StickyBitType:
+		return domain{
+			values: []int64{0, 1, 2},
+			ops: []object.Op{
+				{Kind: object.Read},
+				{Kind: object.Stick, Arg: 1},
+				{Kind: object.Stick, Arg: 2},
+			},
+			resps: [][]int64{{0, 1, 2}, {1, 2}, {1, 2}},
+		}, nil
+	case object.TestAndSetType:
+		return domain{
+			values: []int64{0, 1},
+			ops: []object.Op{
+				{Kind: object.Read},
+				{Kind: object.TestAndSet},
+			},
+			resps: [][]int64{{0, 1}, {0, 1}},
+		}, nil
+	}
+	return domain{}, fmt.Errorf("hierarchy: no enumeration domain for %s", t.Name())
+}
+
+// responseIndex maps a concrete response to its domain position.
+func responseIndex(t object.Type, op object.Op, resp int64) int {
+	d, err := domainFor(t)
+	if err != nil {
+		return -1
+	}
+	for i, o := range d.ops {
+		if o == op {
+			for j, r := range d.resps[i] {
+				if r == resp {
+					return j
+				}
+			}
+			return -1
+		}
+	}
+	return -1
+}
+
+// Result summarizes a search.
+type Result struct {
+	// Enumerated is the number of machines examined.
+	Enumerated int
+	// Solvers is the number that solve deterministic wait-free 2-process
+	// consensus (complete exploration, no violation, no livelock).
+	Solvers int
+	// Example is one solving machine, if any.
+	Example *Machine
+}
+
+// Search enumerates every machine with freeStates free states over one
+// object of type t and model checks each for 2-process consensus.
+//
+// The enumeration size is (|ops|·S^|resp|)^F · F², so keep freeStates at 2
+// for interactive use.
+func Search(t object.Type, freeStates int) (*Result, error) {
+	d, err := domainFor(t)
+	if err != nil {
+		return nil, err
+	}
+	states := freeStates + 2 // free + decide0 + decide1
+
+	// Enumerate the action specs available to one free state.
+	var specs []actionSpec
+	for i, op := range d.ops {
+		nResp := len(d.resps[i])
+		total := 1
+		for k := 0; k < nResp; k++ {
+			total *= states
+		}
+		for code := 0; code < total; code++ {
+			next := make([]int, nResp)
+			c := code
+			for k := 0; k < nResp; k++ {
+				next[k] = c % states
+				c /= states
+			}
+			specs = append(specs, actionSpec{op: op, next: next})
+		}
+	}
+
+	res := &Result{}
+	var id uint64
+	assign := make([]actionSpec, freeStates)
+	var enumerate func(pos int) error
+	enumerate = func(pos int) error {
+		if pos == freeStates {
+			for s0 := 0; s0 < freeStates; s0++ {
+				for s1 := 0; s1 < freeStates; s1++ {
+					id++
+					m := Machine{
+						Type:   t,
+						Free:   append([]actionSpec(nil), assign...),
+						Start0: s0,
+						Start1: s1,
+						id:     id,
+					}
+					res.Enumerated++
+					if solves(m) {
+						res.Solvers++
+						if res.Example == nil {
+							ex := m
+							res.Example = &ex
+						}
+					}
+				}
+			}
+			return nil
+		}
+		for _, spec := range specs {
+			assign[pos] = spec
+			if err := enumerate(pos + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := enumerate(0); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// solves reports whether the machine is a correct deterministic wait-free
+// 2-process consensus protocol: over every input vector, exploration is
+// complete with no violation and no livelock.
+func solves(m Machine) bool {
+	// Cheap rejection first: unanimous solo runs must decide the input.
+	for _, input := range []int64{0, 1} {
+		c := sim.NewConfig(m, []int64{input, input})
+		_, decision, ok := sim.SoloTerminate(c, 0, 64)
+		if !ok || decision != input {
+			return false
+		}
+	}
+	rep := valency.CheckAllInputs(m, 2, valency.Options{MaxConfigs: 1 << 12})
+	return rep.Violation == nil && rep.Complete && !rep.Livelock
+}
+
+// Describe renders a machine's program for display.
+func Describe(m Machine) string {
+	out := fmt.Sprintf("start(input 0) = S%d, start(input 1) = S%d\n", m.Start0, m.Start1)
+	for i, spec := range m.Free {
+		out += fmt.Sprintf("S%d: %v →", i, spec.op)
+		d, _ := domainFor(m.Type)
+		var resps []int64
+		for j, op := range d.ops {
+			if op == spec.op {
+				resps = d.resps[j]
+			}
+		}
+		for k, nxt := range spec.next {
+			label := fmt.Sprintf("S%d", nxt)
+			if nxt == m.decide0State() {
+				label = "decide0"
+			}
+			if nxt == m.decide1State() {
+				label = "decide1"
+			}
+			out += fmt.Sprintf(" [resp %d ⇒ %s]", resps[k], label)
+		}
+		out += "\n"
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package hierarchy
+
+import (
+	"testing"
+
+	"randsync/internal/object"
+	"randsync/internal/valency"
+)
+
+// TestRegisterSearchFindsNothing is the miniature impossibility result:
+// among ALL two-free-state identical-process machines over one register,
+// none solves deterministic wait-free 2-process consensus ([26, 16] in
+// the bounded class).
+func TestRegisterSearchFindsNothing(t *testing.T) {
+	res, err := Search(object.RegisterType{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("register: %d machines enumerated, %d solve consensus", res.Enumerated, res.Solvers)
+	if res.Enumerated < 10000 {
+		t.Fatalf("enumeration suspiciously small: %d", res.Enumerated)
+	}
+	if res.Solvers != 0 {
+		t.Fatalf("%d register machines claim to solve consensus; example:\n%s",
+			res.Solvers, Describe(*res.Example))
+	}
+}
+
+// TestStickySearchFindsSolvers: the same search over one sticky bit finds
+// working machines — the hierarchy separation by exhaustive enumeration.
+func TestStickySearchFindsSolvers(t *testing.T) {
+	res, err := Search(object.StickyBitType{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sticky bit: %d machines enumerated, %d solve consensus", res.Enumerated, res.Solvers)
+	if res.Solvers == 0 {
+		t.Fatal("expected sticky-bit machines that solve consensus")
+	}
+	// Re-verify the example independently, including at n=3: a sticky-bit
+	// solution generalizes beyond two processes.
+	ex := *res.Example
+	t.Logf("example machine:\n%s", Describe(ex))
+	rep := valency.CheckAllInputs(ex, 3, valency.Options{})
+	if rep.Violation != nil || !rep.Complete || rep.Livelock {
+		t.Fatalf("example machine fails at n=3: violation=%v complete=%v livelock=%v",
+			rep.Violation, rep.Complete, rep.Livelock)
+	}
+}
+
+// TestTASSearchFindsNothingAlone: one test&set object with no helper
+// registers cannot solve consensus — the hierarchy's "consensus number 2"
+// for test&set presumes free read-write registers to publish inputs; the
+// object alone carries too little information.
+func TestTASSearchFindsNothingAlone(t *testing.T) {
+	res, err := Search(object.TestAndSetType{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("test&set: %d machines enumerated, %d solve consensus", res.Enumerated, res.Solvers)
+	if res.Solvers != 0 {
+		t.Fatalf("%d test&set-only machines claim to solve consensus; example:\n%s",
+			res.Solvers, Describe(*res.Example))
+	}
+}
+
+// TestMachineSemantics pins the machine encoding itself.
+func TestMachineSemantics(t *testing.T) {
+	// Hand-build the canonical sticky-bit solver: S0 sticks 1, S1 sticks
+	// 2; response 1 → decide0, response 2 → decide1.
+	m := Machine{
+		Type: object.StickyBitType{},
+		Free: []actionSpec{
+			{op: object.Op{Kind: object.Stick, Arg: 1}, next: []int{2, 3}},
+			{op: object.Op{Kind: object.Stick, Arg: 2}, next: []int{2, 3}},
+		},
+		Start0: 0,
+		Start1: 1,
+	}
+	if !solves(m) {
+		t.Fatal("canonical sticky solver should solve consensus")
+	}
+	rep := valency.CheckAllInputs(m, 2, valency.Options{})
+	if rep.Violation != nil {
+		t.Fatalf("canonical solver: %v", rep.Violation)
+	}
+}
+
+func TestResponseIndex(t *testing.T) {
+	reg := object.RegisterType{}
+	if responseIndex(reg, object.Op{Kind: object.Read}, 2) != 2 {
+		t.Error("read response 2 should be index 2")
+	}
+	if responseIndex(reg, object.Op{Kind: object.Write, Arg: 1}, 0) != 0 {
+		t.Error("write ack should be index 0")
+	}
+	if responseIndex(reg, object.Op{Kind: object.Read}, 9) != -1 {
+		t.Error("out-of-domain response should be -1")
+	}
+}
+
+func TestDomainRejectsUnsupported(t *testing.T) {
+	if _, err := Search(object.CASType{}, 2); err == nil {
+		t.Fatal("expected error for type without enumeration domain")
+	}
+}
+
+// TestRegisterSearchDeep extends the impossibility enumeration to three
+// free states: 22,143,375 machines, still zero solvers (about five
+// minutes; skipped with -short).
+func TestRegisterSearchDeep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("22M-machine enumeration skipped in -short mode")
+	}
+	res, err := Search(object.RegisterType{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("register, 3 free states: %d machines enumerated, %d solve consensus",
+		res.Enumerated, res.Solvers)
+	if res.Solvers != 0 {
+		t.Fatalf("%d three-state register machines claim to solve consensus; example:\n%s",
+			res.Solvers, Describe(*res.Example))
+	}
+}

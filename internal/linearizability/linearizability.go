@@ -1,0 +1,174 @@
+// Package linearizability checks recorded concurrent histories against a
+// sequential object specification.
+//
+// Linearizability (Herlihy & Wing [21]) is the correctness condition §2 of
+// the paper assumes of all shared objects: "processes obtain results from
+// their operations on an object as if those operations were performed
+// sequentially in the order specified by the execution."  The checker
+// implements the Wing–Gold search: find a total order of the operations
+// that (a) respects real-time precedence (an operation that returned
+// before another was invoked comes first) and (b) is legal for the
+// sequential specification (package object's Apply).  Memoization on the
+// (linearized-set, object-value) pair keeps the search tractable;
+// histories are limited to 64 operations per object, which the tests'
+// windowed recording respects.
+package linearizability
+
+import (
+	"fmt"
+
+	"randsync/internal/object"
+	"randsync/internal/runtime"
+)
+
+// MaxOps is the largest history the checker accepts.
+const MaxOps = 64
+
+// Result reports the outcome of a check.
+type Result struct {
+	// Linearizable is true if a legal sequential order exists.
+	Linearizable bool
+	// Order, when linearizable, holds the indexes of the history's
+	// operations in a witnessing sequential order.
+	Order []int
+	// Explored counts search states visited.
+	Explored int
+}
+
+// Check decides whether the history is linearizable with respect to the
+// sequential specification typ, starting from typ's initial value.
+func Check(typ object.Type, history []runtime.RecordedOp) (Result, error) {
+	n := len(history)
+	if n > MaxOps {
+		return Result{}, fmt.Errorf("linearizability: history of %d ops exceeds MaxOps=%d", n, MaxOps)
+	}
+	for _, op := range history {
+		if err := object.Validate(typ, op.Op); err != nil {
+			return Result{}, err
+		}
+	}
+
+	type key struct {
+		done  uint64
+		value int64
+	}
+	visited := make(map[key]bool)
+	res := Result{}
+
+	// order[i] holds the i-th linearized operation's index.
+	order := make([]int, 0, n)
+
+	var dfs func(done uint64, value int64) bool
+	dfs = func(done uint64, value int64) bool {
+		if done == (uint64(1)<<n)-1 {
+			return true
+		}
+		k := key{done, value}
+		if visited[k] {
+			return false
+		}
+		visited[k] = true
+		res.Explored++
+
+		// minRet is the earliest return among unlinearized operations; an
+		// operation is eligible next only if it was invoked before every
+		// unlinearized operation returned.
+		minRet := int64(1) << 62
+		for i := 0; i < n; i++ {
+			if done&(1<<i) == 0 && history[i].Return < minRet {
+				minRet = history[i].Return
+			}
+		}
+		for i := 0; i < n; i++ {
+			if done&(1<<i) != 0 {
+				continue
+			}
+			op := history[i]
+			if op.Call > minRet {
+				continue // some unlinearized operation precedes it in real time
+			}
+			newValue, resp := typ.Apply(value, op.Op)
+			if resp != op.Resp {
+				continue // the recorded response is not legal here
+			}
+			order = append(order, i)
+			if dfs(done|1<<i, newValue) {
+				return true
+			}
+			order = order[:len(order)-1]
+		}
+		return false
+	}
+
+	if dfs(0, typ.Init()) {
+		res.Linearizable = true
+		res.Order = append([]int(nil), order...)
+	}
+	return res, nil
+}
+
+// CheckWindows splits a long history into windows of at most MaxOps
+// operations at quiescent points — timestamps where no operation is in
+// flight — and checks each window from the value carried out of the
+// previous one.  It returns the first non-linearizable window's result, or
+// the last window's (linearizable) result.
+//
+// A quiescent cut is sound: every operation on one side of the cut
+// precedes, in real time, every operation on the other side, so the
+// history is linearizable iff each window is, with values chained.
+func CheckWindows(typ object.Type, history []runtime.RecordedOp) (Result, error) {
+	if len(history) <= MaxOps {
+		return Check(typ, history)
+	}
+	// Sort by Call to find quiescent cuts.
+	sorted := append([]runtime.RecordedOp(nil), history...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j].Call < sorted[j-1].Call; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	value := typ.Init()
+	start := 0
+	explored := 0
+	for start < len(sorted) {
+		// Greedily grow the window until quiescent (no op spans the cut)
+		// or MaxOps reached.
+		end := start + 1
+		maxRet := sorted[start].Return
+		for end < len(sorted) && end-start < MaxOps {
+			if sorted[end].Call > maxRet {
+				break // quiescent cut before end
+			}
+			if sorted[end].Return > maxRet {
+				maxRet = sorted[end].Return
+			}
+			end++
+		}
+		if end < len(sorted) && sorted[end].Call <= maxRet {
+			return Result{}, fmt.Errorf("linearizability: no quiescent cut within MaxOps=%d window", MaxOps)
+		}
+		window := sorted[start:end]
+		spec := carriedType{Type: typ, value: value}
+		res, err := Check(spec, window)
+		explored += res.Explored
+		if err != nil || !res.Linearizable {
+			res.Explored = explored
+			return res, err
+		}
+		// Replay the witness order to carry the value forward.
+		for _, idx := range res.Order {
+			value, _ = typ.Apply(value, window[idx].Op)
+		}
+		start = end
+	}
+	return Result{Linearizable: true, Explored: explored}, nil
+}
+
+// carriedType wraps a Type, overriding its initial value to chain windows.
+type carriedType struct {
+	object.Type
+	value int64
+}
+
+// Init implements object.Type.
+func (t carriedType) Init() int64 { return t.value }

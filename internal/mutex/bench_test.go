@@ -1,0 +1,29 @@
+package mutex
+
+import (
+	"sync"
+	"testing"
+)
+
+// benchLock measures contended lock/unlock cycles.
+func benchLock(b *testing.B, l Lock, procs int) {
+	var wg sync.WaitGroup
+	each := b.N/procs + 1
+	b.ResetTimer()
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				l.Lock(p)
+				l.Unlock(p)
+			}
+		}(p)
+	}
+	wg.Wait()
+}
+
+func BenchmarkPeterson(b *testing.B)    { benchLock(b, NewPeterson(), 2) }
+func BenchmarkBurns4(b *testing.B)      { benchLock(b, NewBurns(4), 4) }
+func BenchmarkTournament8(b *testing.B) { benchLock(b, NewTournament(8), 8) }
+func BenchmarkSpinLock8(b *testing.B)   { benchLock(b, NewSpinLock(), 8) }

@@ -1,0 +1,119 @@
+package mutex
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// exercise hammers a lock with procs goroutines, each entering the
+// critical section `each` times, and verifies mutual exclusion with an
+// occupancy counter plus a protected non-atomic counter.
+func exercise(t *testing.T, l Lock, procs, each int) {
+	t.Helper()
+	var inCS atomic.Int64
+	shared := 0 // protected by l; the race detector cross-checks the lock
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				l.Lock(p)
+				if got := inCS.Add(1); got != 1 {
+					t.Errorf("%s: %d processes in critical section", l.Name(), got)
+				}
+				shared++
+				inCS.Add(-1)
+				l.Unlock(p)
+			}
+		}(p)
+	}
+	wg.Wait()
+	if shared != procs*each {
+		t.Fatalf("%s: shared counter = %d, want %d (mutual exclusion violated)",
+			l.Name(), shared, procs*each)
+	}
+}
+
+func TestPeterson(t *testing.T) {
+	exercise(t, NewPeterson(), 2, 2000)
+}
+
+func TestBurns(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		exercise(t, NewBurns(n), n, 300)
+	}
+}
+
+func TestTournament(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 7, 8} {
+		exercise(t, NewTournament(n), n, 300)
+	}
+}
+
+func TestSpinLock(t *testing.T) {
+	exercise(t, NewSpinLock(), 8, 500)
+}
+
+func TestRegisterAccounting(t *testing.T) {
+	// Burns matches the Burns–Lynch lower bound exactly: n registers for
+	// n processes.
+	if got := NewBurns(7).Registers(); got != 7 {
+		t.Errorf("burns registers = %d, want 7", got)
+	}
+	if got := NewPeterson().Registers(); got != 3 {
+		t.Errorf("peterson registers = %d, want 3", got)
+	}
+	// Tournament for n=8: 7 internal nodes × 3 registers.
+	if got := NewTournament(8).Registers(); got != 21 {
+		t.Errorf("tournament registers = %d, want 21", got)
+	}
+	if got := NewSpinLock().Registers(); got != 0 {
+		t.Errorf("spinlock registers = %d, want 0", got)
+	}
+}
+
+func TestLockSequentialReentry(t *testing.T) {
+	// Lock/Unlock cycles by a single process must always succeed
+	// immediately (no residual state).
+	for _, l := range []Lock{NewBurns(4), NewPeterson(), NewTournament(4), NewSpinLock()} {
+		for i := 0; i < 100; i++ {
+			l.Lock(0)
+			l.Unlock(0)
+		}
+	}
+}
+
+func TestTournamentPathDisjointSides(t *testing.T) {
+	// Any two distinct processes must diverge at some tree node: they
+	// share that node with different sides (that node's Peterson lock
+	// separates them).
+	tr := NewTournament(8)
+	for a := 0; a < 8; a++ {
+		for b := a + 1; b < 8; b++ {
+			pa, pb := tr.path(a), tr.path(b)
+			diverge := false
+			for i := range pa {
+				if pa[i].node == pb[i].node {
+					if pa[i].side != pb[i].side {
+						diverge = true
+					}
+					break
+				}
+			}
+			// They must meet at the latest at the root.
+			if pa[len(pa)-1].node != 1 || pb[len(pb)-1].node != 1 {
+				t.Fatalf("paths do not end at root: %v %v", pa, pb)
+			}
+			for i := range pa {
+				if pa[i].node == pb[i].node && pa[i].side != pb[i].side {
+					diverge = true
+				}
+			}
+			if !diverge {
+				t.Fatalf("P%d and P%d never diverge: %v vs %v", a, b, pa, pb)
+			}
+		}
+	}
+}

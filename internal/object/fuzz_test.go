@@ -1,0 +1,58 @@
+package object
+
+import "testing"
+
+// FuzzApplyInvariants drives random operation sequences against every
+// type and checks the value-set invariants §2 declares: test&set values
+// stay in {0,1}, bounded-counter values stay in [Lo,Hi], and Apply never
+// panics on supported operations.
+func FuzzApplyInvariants(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5})
+	f.Add([]byte{9, 8, 7, 6})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		bc := BoundedCounterType{Lo: -3, Hi: 3}
+		types := []Type{
+			RegisterType{}, SwapRegisterType{}, TestAndSetType{},
+			CounterType{}, bc, FetchAddType{}, FetchIncType{},
+			FetchDecType{}, CASType{}, StickyBitType{},
+		}
+		for _, typ := range types {
+			ops := typ.Ops()
+			v := typ.Init()
+			for i, b := range script {
+				kind := ops[int(b)%len(ops)]
+				op := Op{Kind: kind}
+				switch kind {
+				case Write, Swap, FetchAdd:
+					op.Arg = int64(int8(b)) * int64(i%3)
+				case Stick:
+					op.Arg = int64(b%2) + 1
+				case CompareAndSwap:
+					op.Arg = int64(b % 5)
+					op.Arg2 = v
+				}
+				nv, _ := typ.Apply(v, op)
+				switch typ.(type) {
+				case TestAndSetType:
+					if nv != 0 && nv != 1 {
+						t.Fatalf("test&set value %d outside {0,1}", nv)
+					}
+				case BoundedCounterType:
+					if nv < bc.Lo || nv > bc.Hi {
+						t.Fatalf("bounded counter value %d outside [%d,%d]", nv, bc.Lo, bc.Hi)
+					}
+				case StickyBitType:
+					if v != 0 && nv != v {
+						t.Fatalf("sticky bit changed after sticking: %d → %d", v, nv)
+					}
+				}
+				// Trivial operations never change the value.
+				if Trivial(typ, kind) && nv != v {
+					t.Fatalf("%s: trivial %v changed value %d → %d", typ.Name(), kind, v, nv)
+				}
+				v = nv
+			}
+		}
+	})
+}

@@ -1,0 +1,289 @@
+// Package object defines the shared-object model of Fich, Herlihy and
+// Shavit's "On the Space Complexity of Randomized Synchronization": object
+// types with int64 value spaces, their primitive operations, and the
+// operation algebra (trivial, commuting, overwriting) that classifies types
+// as historyless or interfering.
+//
+// The paper's lower bound applies to implementations built from historyless
+// objects: objects whose value depends only on the last nontrivial operation
+// applied to them.  Read-write registers, swap registers and test&set
+// registers are historyless; counters, fetch&add registers and
+// compare&swap registers are not.
+//
+// Values are represented as int64.  The paper allows objects with unbounded
+// value sets (the lower bound is about the number of object instances, not
+// their size), so a 64-bit value space loses nothing relevant: protocols in
+// this repository pack multi-field values (e.g. round and preference) into a
+// single word.
+package object
+
+import "fmt"
+
+// OpKind identifies a primitive operation.
+type OpKind uint8
+
+// The operation vocabulary shared by all object types.  Each type supports
+// a subset (see Type.Ops).
+const (
+	// Read responds with the value and leaves it unchanged (trivial).
+	Read OpKind = iota
+	// Write sets the value to Op.Arg and responds with 0.
+	Write
+	// Swap sets the value to Op.Arg and responds with the previous value.
+	Swap
+	// TestAndSet sets the value to 1 and responds with the previous value.
+	TestAndSet
+	// Inc increments the value and responds with 0 (a fixed acknowledgement).
+	Inc
+	// Dec decrements the value and responds with 0.
+	Dec
+	// Reset sets the value to 0 and responds with 0.
+	Reset
+	// FetchAdd adds Op.Arg to the value and responds with the previous value.
+	FetchAdd
+	// FetchInc increments the value and responds with the previous value.
+	FetchInc
+	// FetchDec decrements the value and responds with the previous value.
+	FetchDec
+	// CompareAndSwap sets the value to Op.Arg if it currently equals
+	// Op.Arg2, and responds with the previous value in either case.
+	CompareAndSwap
+	// Stick sets the value to Op.Arg if the object is still unset (0) and
+	// responds with the resulting (stuck) value: the sticky-bit operation.
+	Stick
+
+	numOpKinds
+)
+
+var opKindNames = [numOpKinds]string{
+	Read:           "read",
+	Write:          "write",
+	Swap:           "swap",
+	TestAndSet:     "test&set",
+	Inc:            "inc",
+	Dec:            "dec",
+	Reset:          "reset",
+	FetchAdd:       "fetch&add",
+	FetchInc:       "fetch&inc",
+	FetchDec:       "fetch&dec",
+	CompareAndSwap: "compare&swap",
+	Stick:          "stick",
+}
+
+// String returns the conventional name of the operation kind.
+func (k OpKind) String() string {
+	if int(k) < len(opKindNames) {
+		return opKindNames[k]
+	}
+	return fmt.Sprintf("opkind(%d)", uint8(k))
+}
+
+// Op is an operation invocation: a kind plus its arguments.
+//
+// Arg carries the written/swapped/added value; Arg2 carries the expected
+// value for CompareAndSwap.  Unused arguments must be zero so that Ops
+// compare equal with ==.
+type Op struct {
+	Kind OpKind
+	Arg  int64
+	Arg2 int64
+}
+
+// String renders the invocation, e.g. "write(3)" or "compare&swap(0→1)".
+func (o Op) String() string {
+	switch o.Kind {
+	case Read, TestAndSet, Inc, Dec, Reset, FetchInc, FetchDec:
+		return o.Kind.String()
+	case Stick:
+		return fmt.Sprintf("stick(%d)", o.Arg)
+	case CompareAndSwap:
+		return fmt.Sprintf("compare&swap(%d→%d)", o.Arg2, o.Arg)
+	default:
+		return fmt.Sprintf("%s(%d)", o.Kind, o.Arg)
+	}
+}
+
+// Type describes an object type: its initial value, the operations it
+// supports, and their sequential semantics.
+type Type interface {
+	// Name returns the conventional name of the type, e.g. "register".
+	Name() string
+	// Init returns the initial value of a fresh object of this type.
+	Init() int64
+	// Ops returns the operation kinds the type supports.
+	Ops() []OpKind
+	// Apply performs op on an object with the given value, returning the
+	// new value and the response.  Apply must be a pure function.
+	// It panics if the type does not support op.Kind; protocols are
+	// validated against Ops before execution, so a panic here is a bug in
+	// this package's caller, not an execution-time condition.
+	Apply(value int64, op Op) (newValue, response int64)
+}
+
+// Trivial reports whether op is a trivial operation of type t: one that
+// never changes the value of the object.  (§2: "An operation of an object
+// type is said to be trivial if applying the operation to any object of the
+// type always leaves the value of the object unchanged.")
+func Trivial(t Type, kind OpKind) bool {
+	switch kind {
+	case Read:
+		return true
+	case CompareAndSwap, Write, Swap, TestAndSet, Inc, Dec, Reset, FetchAdd, FetchInc, FetchDec, Stick:
+		return false
+	default:
+		return false
+	}
+}
+
+// Overwrites reports whether operation f overwrites operation f' on type t:
+// for every value x, f(f'(x)) yields the same value as f(x).  (§2.)
+//
+// The relation is decided symbolically from the operation kinds; the
+// property-based tests in this package check the symbolic table against
+// Apply on sampled values.
+func Overwrites(f, fPrime Op) bool {
+	valueOblivious := func(k OpKind) bool {
+		// Operations whose resulting value is independent of the prior
+		// value: the canonical overwriting class.
+		switch k {
+		case Write, Swap, TestAndSet, Reset:
+			return true
+		}
+		return false
+	}
+	if valueOblivious(f.Kind) {
+		return true
+	}
+	if f.Kind == Read {
+		// A trivial operation leaves the value unchanged, so read(f'(x))
+		// equals f'(x), which equals read(x)=x only if f' is also trivial.
+		return fPrime.Kind == Read
+	}
+	// Idempotence: compare&swap(e→v) is idempotent (applying it twice
+	// yields the same value as applying it once), so it overwrites itself,
+	// but two distinct compare&swap invocations do not overwrite each
+	// other — which is exactly why compare&swap is not historyless.
+	if f.Kind == CompareAndSwap && fPrime.Kind == CompareAndSwap {
+		return f == fPrime
+	}
+	// Stick is likewise idempotent but two different sticks do not
+	// overwrite one another (first writer wins forever).
+	if f.Kind == Stick && fPrime.Kind == Stick {
+		return f == fPrime
+	}
+	return false
+}
+
+// Commutes reports whether two operations commute on type t: applying them
+// in either order yields the same final value.  (§2.)
+func Commutes(f, g Op) bool {
+	if f.Kind == Read || g.Kind == Read {
+		// A trivial operation commutes with every operation.
+		return true
+	}
+	additive := func(k OpKind) bool {
+		switch k {
+		case Inc, Dec, FetchAdd, FetchInc, FetchDec:
+			return true
+		}
+		return false
+	}
+	if additive(f.Kind) && additive(g.Kind) {
+		return true
+	}
+	constant := func(k OpKind) bool {
+		switch k {
+		case Write, Swap, Reset, TestAndSet:
+			return true
+		}
+		return false
+	}
+	if constant(f.Kind) && constant(g.Kind) {
+		// Two value-oblivious operations commute iff they set the same value.
+		return resultingValue(f) == resultingValue(g)
+	}
+	return false
+}
+
+// resultingValue returns the value produced by a value-oblivious operation.
+func resultingValue(o Op) int64 {
+	switch o.Kind {
+	case Write, Swap:
+		return o.Arg
+	case TestAndSet:
+		return 1
+	case Reset:
+		return 0
+	}
+	panic(fmt.Sprintf("object: resultingValue of value-dependent op %v", o))
+}
+
+// Historyless reports whether the type is historyless: all its nontrivial
+// operations overwrite one another, so the value of the object depends only
+// on the last nontrivial operation applied.  (§2.)
+//
+// The check is symbolic over operation kinds: every nontrivial kind the
+// type supports must produce a value independent of the prior value.
+func Historyless(t Type) bool {
+	for _, k := range t.Ops() {
+		if Trivial(t, k) {
+			continue
+		}
+		switch k {
+		case Write, Swap, TestAndSet, Reset:
+			// value-oblivious: overwrites everything.
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Interfering reports whether the type's operation set is interfering:
+// every pair of supported operations (over sampled arguments) either
+// commutes or one overwrites the other.  (§2: read/write/swap is
+// interfering; compare&swap is not.)
+func Interfering(t Type, sampleArgs []int64) bool {
+	ops := enumerateOps(t, sampleArgs)
+	for _, f := range ops {
+		for _, g := range ops {
+			if !Commutes(f, g) && !Overwrites(f, g) && !Overwrites(g, f) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// enumerateOps instantiates each supported kind with each sample argument
+// (and argument pair, for compare&swap).
+func enumerateOps(t Type, sampleArgs []int64) []Op {
+	var ops []Op
+	for _, k := range t.Ops() {
+		switch k {
+		case Read, TestAndSet, Inc, Dec, Reset, FetchInc, FetchDec:
+			ops = append(ops, Op{Kind: k})
+		case Write, Swap, FetchAdd, Stick:
+			for _, a := range sampleArgs {
+				ops = append(ops, Op{Kind: k, Arg: a})
+			}
+		case CompareAndSwap:
+			for _, a := range sampleArgs {
+				for _, b := range sampleArgs {
+					ops = append(ops, Op{Kind: k, Arg: a, Arg2: b})
+				}
+			}
+		}
+	}
+	return ops
+}
+
+// Validate checks that op is supported by t and returns an error otherwise.
+func Validate(t Type, op Op) error {
+	for _, k := range t.Ops() {
+		if k == op.Kind {
+			return nil
+		}
+	}
+	return fmt.Errorf("object: type %s does not support %s", t.Name(), op.Kind)
+}

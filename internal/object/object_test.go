@@ -1,0 +1,339 @@
+package object
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// allTypes returns one instance of every object type in the package.
+func allTypes() []Type {
+	return []Type{
+		RegisterType{},
+		SwapRegisterType{},
+		TestAndSetType{},
+		CounterType{},
+		BoundedCounterType{Lo: -6, Hi: 6},
+		FetchAddType{},
+		FetchIncType{},
+		FetchDecType{},
+		CASType{},
+	}
+}
+
+var sampleArgs = []int64{-2, -1, 0, 1, 2, 7}
+
+// sampleValues is the value sample used to cross-check symbolic algebra
+// claims against Apply semantics.
+var sampleValues = []int64{-3, -1, 0, 1, 2, 5}
+
+func TestHistorylessClassification(t *testing.T) {
+	want := map[string]bool{
+		"register":              true,
+		"swap-register":         true,
+		"test&set":              true,
+		"counter":               false,
+		"bounded-counter[-6,6]": false,
+		"fetch&add":             false,
+		"fetch&inc":             false,
+		"fetch&dec":             false,
+		"compare&swap":          false,
+	}
+	for _, typ := range allTypes() {
+		got := Historyless(typ)
+		if got != want[typ.Name()] {
+			t.Errorf("Historyless(%s) = %v, want %v", typ.Name(), got, want[typ.Name()])
+		}
+	}
+}
+
+func TestInterferingClassification(t *testing.T) {
+	// §2: the set of READ, WRITE, and SWAP operations is interfering, but
+	// the set of COMPARE&SWAP operations is not.
+	want := map[string]bool{
+		"register":              true,
+		"swap-register":         true,
+		"test&set":              true,
+		"counter":               true, // inc/dec commute; reset overwrites everything
+		"bounded-counter[-6,6]": true,
+		"fetch&add":             true, // fetch&add ops commute with one another
+		"fetch&inc":             true,
+		"fetch&dec":             true,
+		"compare&swap":          false,
+	}
+	for _, typ := range allTypes() {
+		got := Interfering(typ, sampleArgs)
+		if got != want[typ.Name()] {
+			t.Errorf("Interfering(%s) = %v, want %v", typ.Name(), got, want[typ.Name()])
+		}
+	}
+}
+
+// TestTrivialAgainstSemantics verifies that operations reported trivial
+// never change the value, and that nontrivial operations change it for at
+// least one sampled value.
+func TestTrivialAgainstSemantics(t *testing.T) {
+	for _, typ := range allTypes() {
+		for _, op := range enumerateOps(typ, sampleArgs) {
+			changes := false
+			for _, v := range sampleValues {
+				nv, _ := typ.Apply(v, op)
+				if nv != v {
+					changes = true
+				}
+			}
+			if Trivial(typ, op.Kind) && changes {
+				t.Errorf("%s: op %v reported trivial but changes a value", typ.Name(), op)
+			}
+		}
+	}
+}
+
+// TestOverwritesAgainstSemantics cross-checks the symbolic Overwrites
+// relation against Apply: if Overwrites(f, f') then f(f'(x)) == f(x) for
+// all sampled x, on every type supporting both operations.
+func TestOverwritesAgainstSemantics(t *testing.T) {
+	for _, typ := range allTypes() {
+		ops := enumerateOps(typ, sampleArgs)
+		for _, f := range ops {
+			for _, fp := range ops {
+				if !Overwrites(f, fp) {
+					continue
+				}
+				for _, x := range sampleValues {
+					afterFP, _ := typ.Apply(x, fp)
+					both, _ := typ.Apply(afterFP, f)
+					direct, _ := typ.Apply(x, f)
+					if both != direct {
+						t.Errorf("%s: Overwrites(%v, %v) but %v(%v(%d))=%d != %v(%d)=%d",
+							typ.Name(), f, fp, f, fp, x, both, f, x, direct)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCommutesAgainstSemantics cross-checks the symbolic Commutes relation:
+// if Commutes(f, g) then applying f,g in either order yields the same value.
+func TestCommutesAgainstSemantics(t *testing.T) {
+	for _, typ := range allTypes() {
+		if (typ.Name())[:7] == "bounded" {
+			continue // wraparound makes +/- commute too, covered below
+		}
+		ops := enumerateOps(typ, sampleArgs)
+		for _, f := range ops {
+			for _, g := range ops {
+				if !Commutes(f, g) {
+					continue
+				}
+				for _, x := range sampleValues {
+					a1, _ := typ.Apply(x, f)
+					a2, _ := typ.Apply(a1, g)
+					b1, _ := typ.Apply(x, g)
+					b2, _ := typ.Apply(b1, f)
+					if a2 != b2 {
+						t.Errorf("%s: Commutes(%v, %v) but orders disagree at %d: %d vs %d",
+							typ.Name(), f, g, x, a2, b2)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWriteOverwritesEverything: property test that a write makes the prior
+// operation invisible in the value, on the register and swap-register.
+func TestWriteOverwritesEverything(t *testing.T) {
+	f := func(x, a, b int64) bool {
+		typ := SwapRegisterType{}
+		// swap(b) after write(a) after x  ==  swap(b) after x, value-wise.
+		v1, _ := typ.Apply(x, Op{Kind: Write, Arg: a})
+		v1, _ = typ.Apply(v1, Op{Kind: Swap, Arg: b})
+		v2, _ := typ.Apply(x, Op{Kind: Swap, Arg: b})
+		return v1 == v2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFetchAddCommutesQuick: property test that two fetch&adds commute.
+func TestFetchAddCommutesQuick(t *testing.T) {
+	f := func(x, a, b int64) bool {
+		typ := FetchAddType{}
+		v1, _ := typ.Apply(x, Op{Kind: FetchAdd, Arg: a})
+		v1, _ = typ.Apply(v1, Op{Kind: FetchAdd, Arg: b})
+		v2, _ := typ.Apply(x, Op{Kind: FetchAdd, Arg: b})
+		v2, _ = typ.Apply(v2, Op{Kind: FetchAdd, Arg: a})
+		return v1 == v2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCASIdempotent: property test that compare&swap is idempotent.
+func TestCASIdempotent(t *testing.T) {
+	f := func(x, e, v int64) bool {
+		typ := CASType{}
+		op := Op{Kind: CompareAndSwap, Arg: v, Arg2: e}
+		once, _ := typ.Apply(x, op)
+		twice, _ := typ.Apply(once, op)
+		return once == twice
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCASNotHistorylessWitness exhibits the concrete witness that two
+// distinct compare&swap operations fail to overwrite each other.
+func TestCASNotHistorylessWitness(t *testing.T) {
+	typ := CASType{}
+	f := Op{Kind: CompareAndSwap, Arg: 2, Arg2: 1}  // 1→2
+	fp := Op{Kind: CompareAndSwap, Arg: 1, Arg2: 0} // 0→1
+	x := int64(0)
+	afterFP, _ := typ.Apply(x, fp)   // 1
+	both, _ := typ.Apply(afterFP, f) // 2
+	direct, _ := typ.Apply(x, f)     // 0
+	if both == direct {
+		t.Fatalf("expected CAS operations not to overwrite: got %d == %d", both, direct)
+	}
+	if Overwrites(f, fp) {
+		t.Fatalf("Overwrites(%v, %v) should be false", f, fp)
+	}
+}
+
+func TestBoundedCounterWraps(t *testing.T) {
+	typ := BoundedCounterType{Lo: -2, Hi: 2}
+	v := typ.Init()
+	if v != 0 {
+		t.Fatalf("init = %d, want 0", v)
+	}
+	for i := 0; i < 3; i++ {
+		v, _ = typ.Apply(v, Op{Kind: Inc})
+	}
+	if v != -2 {
+		t.Fatalf("after 3 incs from 0 in [-2,2], value = %d, want wrap to -2", v)
+	}
+	for i := 0; i < 5; i++ {
+		v, _ = typ.Apply(v, Op{Kind: Dec})
+	}
+	if v != -2 {
+		t.Fatalf("after 5 decs (full cycle), value = %d, want -2", v)
+	}
+	v, _ = typ.Apply(v, Op{Kind: Reset})
+	if v != 0 {
+		t.Fatalf("reset = %d, want 0", v)
+	}
+}
+
+func TestBoundedCounterLoAboveZero(t *testing.T) {
+	typ := BoundedCounterType{Lo: 3, Hi: 5}
+	if got := typ.Init(); got != 3 {
+		t.Fatalf("init = %d, want Lo=3", got)
+	}
+	v, _ := typ.Apply(5, Op{Kind: Inc})
+	if v != 3 {
+		t.Fatalf("inc at Hi wraps to %d, want 3", v)
+	}
+}
+
+func TestResponses(t *testing.T) {
+	cases := []struct {
+		typ   Type
+		value int64
+		op    Op
+		newV  int64
+		resp  int64
+	}{
+		{RegisterType{}, 5, Op{Kind: Read}, 5, 5},
+		{RegisterType{}, 5, Op{Kind: Write, Arg: 9}, 9, 0},
+		{SwapRegisterType{}, 5, Op{Kind: Swap, Arg: 9}, 9, 5},
+		{TestAndSetType{}, 0, Op{Kind: TestAndSet}, 1, 0},
+		{TestAndSetType{}, 1, Op{Kind: TestAndSet}, 1, 1},
+		{CounterType{}, 4, Op{Kind: Inc}, 5, 0},
+		{CounterType{}, 4, Op{Kind: Dec}, 3, 0},
+		{CounterType{}, 4, Op{Kind: Reset}, 0, 0},
+		{FetchAddType{}, 4, Op{Kind: FetchAdd, Arg: 3}, 7, 4},
+		{FetchIncType{}, 4, Op{Kind: FetchInc}, 5, 4},
+		{FetchDecType{}, 4, Op{Kind: FetchDec}, 3, 4},
+		{CASType{}, 0, Op{Kind: CompareAndSwap, Arg: 7, Arg2: 0}, 7, 0},
+		{CASType{}, 3, Op{Kind: CompareAndSwap, Arg: 7, Arg2: 0}, 3, 3},
+	}
+	for _, c := range cases {
+		nv, resp := c.typ.Apply(c.value, c.op)
+		if nv != c.newV || resp != c.resp {
+			t.Errorf("%s.Apply(%d, %v) = (%d, %d), want (%d, %d)",
+				c.typ.Name(), c.value, c.op, nv, resp, c.newV, c.resp)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate(RegisterType{}, Op{Kind: Write, Arg: 1}); err != nil {
+		t.Errorf("register should support write: %v", err)
+	}
+	if err := Validate(RegisterType{}, Op{Kind: Swap, Arg: 1}); err == nil {
+		t.Error("register should not support swap")
+	}
+	if err := Validate(CounterType{}, Op{Kind: TestAndSet}); err == nil {
+		t.Error("counter should not support test&set")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	cases := map[string]Op{
+		"read":              {Kind: Read},
+		"write(3)":          {Kind: Write, Arg: 3},
+		"swap(-1)":          {Kind: Swap, Arg: -1},
+		"test&set":          {Kind: TestAndSet},
+		"inc":               {Kind: Inc},
+		"fetch&add(2)":      {Kind: FetchAdd, Arg: 2},
+		"compare&swap(0→1)": {Kind: CompareAndSwap, Arg: 1, Arg2: 0},
+	}
+	for want, op := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("op.String() = %q, want %q", got, want)
+		}
+	}
+}
+
+// TestReadOverwritesOnlyRead pins the subtle corner of the overwrite
+// relation for trivial operations.
+func TestReadOverwritesOnlyRead(t *testing.T) {
+	if !Overwrites(Op{Kind: Read}, Op{Kind: Read}) {
+		t.Error("read should overwrite read")
+	}
+	if Overwrites(Op{Kind: Read}, Op{Kind: Write, Arg: 1}) {
+		t.Error("read should not overwrite write")
+	}
+	if !Overwrites(Op{Kind: Write, Arg: 1}, Op{Kind: Read}) {
+		t.Error("write should overwrite read")
+	}
+}
+
+func TestStickyBit(t *testing.T) {
+	typ := StickyBitType{}
+	if Historyless(typ) {
+		t.Error("sticky bit must not be historyless")
+	}
+	if Interfering(typ, sampleArgs) {
+		t.Error("sticky bit operations must not be interfering")
+	}
+	v, resp := typ.Apply(0, Op{Kind: Stick, Arg: 2})
+	if v != 2 || resp != 2 {
+		t.Fatalf("first stick: (%d,%d)", v, resp)
+	}
+	v, resp = typ.Apply(v, Op{Kind: Stick, Arg: 1})
+	if v != 2 || resp != 2 {
+		t.Fatalf("second stick must lose: (%d,%d)", v, resp)
+	}
+	// Idempotence: the same stick overwrites itself.
+	if !Overwrites(Op{Kind: Stick, Arg: 1}, Op{Kind: Stick, Arg: 1}) {
+		t.Error("stick should overwrite itself")
+	}
+	if Overwrites(Op{Kind: Stick, Arg: 1}, Op{Kind: Stick, Arg: 2}) {
+		t.Error("different sticks must not overwrite")
+	}
+}

@@ -1,0 +1,326 @@
+package object
+
+import "fmt"
+
+// RegisterType is a read-write register.  Its value set is the int64s; its
+// operations are Read and Write.  Registers are historyless: Write
+// overwrites every nontrivial operation.
+type RegisterType struct {
+	// Initial is the register's initial value.
+	Initial int64
+}
+
+var _ Type = RegisterType{}
+
+// Name implements Type.
+func (RegisterType) Name() string { return "register" }
+
+// Init implements Type.
+func (t RegisterType) Init() int64 { return t.Initial }
+
+// Ops implements Type.
+func (RegisterType) Ops() []OpKind { return []OpKind{Read, Write} }
+
+// Apply implements Type.
+func (RegisterType) Apply(value int64, op Op) (int64, int64) {
+	switch op.Kind {
+	case Read:
+		return value, value
+	case Write:
+		return op.Arg, 0
+	}
+	panic(unsupported("register", op))
+}
+
+// SwapRegisterType is a register that additionally supports Swap.  It is
+// historyless: Write and Swap overwrite one another.
+type SwapRegisterType struct {
+	// Initial is the register's initial value.
+	Initial int64
+}
+
+var _ Type = SwapRegisterType{}
+
+// Name implements Type.
+func (SwapRegisterType) Name() string { return "swap-register" }
+
+// Init implements Type.
+func (t SwapRegisterType) Init() int64 { return t.Initial }
+
+// Ops implements Type.
+func (SwapRegisterType) Ops() []OpKind { return []OpKind{Read, Write, Swap} }
+
+// Apply implements Type.
+func (SwapRegisterType) Apply(value int64, op Op) (int64, int64) {
+	switch op.Kind {
+	case Read:
+		return value, value
+	case Write:
+		return op.Arg, 0
+	case Swap:
+		return op.Arg, value
+	}
+	panic(unsupported("swap-register", op))
+}
+
+// TestAndSetType is a test&set register with value set {0, 1} and initial
+// value 0.  TestAndSet responds with the old value and sets the value to 1.
+// It is historyless: TestAndSet always produces the value 1 regardless of
+// the prior value.
+type TestAndSetType struct{}
+
+var _ Type = TestAndSetType{}
+
+// Name implements Type.
+func (TestAndSetType) Name() string { return "test&set" }
+
+// Init implements Type.
+func (TestAndSetType) Init() int64 { return 0 }
+
+// Ops implements Type.
+func (TestAndSetType) Ops() []OpKind { return []OpKind{Read, TestAndSet} }
+
+// Apply implements Type.
+func (TestAndSetType) Apply(value int64, op Op) (int64, int64) {
+	switch op.Kind {
+	case Read:
+		return value, value
+	case TestAndSet:
+		return 1, value
+	}
+	panic(unsupported("test&set", op))
+}
+
+// CounterType is the counter of §2: its value set is the integers, with
+// Inc, Dec and Reset responding with a fixed acknowledgement (0) and Read
+// responding with the value.  Counters are not historyless (Inc does not
+// overwrite Inc) but Inc and Dec commute.
+type CounterType struct{}
+
+var _ Type = CounterType{}
+
+// Name implements Type.
+func (CounterType) Name() string { return "counter" }
+
+// Init implements Type.
+func (CounterType) Init() int64 { return 0 }
+
+// Ops implements Type.
+func (CounterType) Ops() []OpKind { return []OpKind{Read, Inc, Dec, Reset} }
+
+// Apply implements Type.
+func (CounterType) Apply(value int64, op Op) (int64, int64) {
+	switch op.Kind {
+	case Read:
+		return value, value
+	case Inc:
+		return value + 1, 0
+	case Dec:
+		return value - 1, 0
+	case Reset:
+		return 0, 0
+	}
+	panic(unsupported("counter", op))
+}
+
+// BoundedCounterType is a counter whose value set is the range
+// [Lo, Hi] and whose operations are performed modulo the size of that
+// range (§2).  Values are stored in the range directly.
+type BoundedCounterType struct {
+	Lo, Hi int64
+}
+
+var _ Type = BoundedCounterType{}
+
+// Name implements Type.
+func (t BoundedCounterType) Name() string {
+	return fmt.Sprintf("bounded-counter[%d,%d]", t.Lo, t.Hi)
+}
+
+// Init implements Type.  The initial value is 0 when 0 lies in range, and
+// Lo otherwise.
+func (t BoundedCounterType) Init() int64 {
+	if t.Lo <= 0 && 0 <= t.Hi {
+		return 0
+	}
+	return t.Lo
+}
+
+// Ops implements Type.
+func (BoundedCounterType) Ops() []OpKind { return []OpKind{Read, Inc, Dec, Reset} }
+
+// Apply implements Type.
+func (t BoundedCounterType) Apply(value int64, op Op) (int64, int64) {
+	size := t.Hi - t.Lo + 1
+	wrap := func(v int64) int64 {
+		v = (v - t.Lo) % size
+		if v < 0 {
+			v += size
+		}
+		return v + t.Lo
+	}
+	switch op.Kind {
+	case Read:
+		return value, value
+	case Inc:
+		return wrap(value + 1), 0
+	case Dec:
+		return wrap(value - 1), 0
+	case Reset:
+		return wrap(0), 0
+	}
+	panic(unsupported(t.Name(), op))
+}
+
+// FetchAddType is a fetch&add register: FetchAdd(a) adds a to the value and
+// responds with the previous value.  FetchAdd operations commute but do not
+// overwrite one another, so the type is not historyless.
+type FetchAddType struct {
+	// Initial is the register's initial value.
+	Initial int64
+}
+
+var _ Type = FetchAddType{}
+
+// Name implements Type.
+func (FetchAddType) Name() string { return "fetch&add" }
+
+// Init implements Type.
+func (t FetchAddType) Init() int64 { return t.Initial }
+
+// Ops implements Type.
+func (FetchAddType) Ops() []OpKind { return []OpKind{Read, FetchAdd} }
+
+// Apply implements Type.
+func (FetchAddType) Apply(value int64, op Op) (int64, int64) {
+	switch op.Kind {
+	case Read:
+		return value, value
+	case FetchAdd:
+		return value + op.Arg, value
+	}
+	panic(unsupported("fetch&add", op))
+}
+
+// FetchIncType is a fetch&increment register: FetchInc increments the value
+// and responds with the previous value.
+type FetchIncType struct{}
+
+var _ Type = FetchIncType{}
+
+// Name implements Type.
+func (FetchIncType) Name() string { return "fetch&inc" }
+
+// Init implements Type.
+func (FetchIncType) Init() int64 { return 0 }
+
+// Ops implements Type.
+func (FetchIncType) Ops() []OpKind { return []OpKind{Read, FetchInc} }
+
+// Apply implements Type.
+func (FetchIncType) Apply(value int64, op Op) (int64, int64) {
+	switch op.Kind {
+	case Read:
+		return value, value
+	case FetchInc:
+		return value + 1, value
+	}
+	panic(unsupported("fetch&inc", op))
+}
+
+// FetchDecType is a fetch&decrement register: FetchDec decrements the value
+// and responds with the previous value.
+type FetchDecType struct{}
+
+var _ Type = FetchDecType{}
+
+// Name implements Type.
+func (FetchDecType) Name() string { return "fetch&dec" }
+
+// Init implements Type.
+func (FetchDecType) Init() int64 { return 0 }
+
+// Ops implements Type.
+func (FetchDecType) Ops() []OpKind { return []OpKind{Read, FetchDec} }
+
+// Apply implements Type.
+func (FetchDecType) Apply(value int64, op Op) (int64, int64) {
+	switch op.Kind {
+	case Read:
+		return value, value
+	case FetchDec:
+		return value - 1, value
+	}
+	panic(unsupported("fetch&dec", op))
+}
+
+// CASType is a compare&swap register: CompareAndSwap(e→v) sets the value to
+// v if it equals e, responding with the previous value either way.  The set
+// of compare&swap operations is not interfering, and the type is not
+// historyless; deterministically it solves n-process consensus (Herlihy).
+type CASType struct {
+	// Initial is the register's initial value.
+	Initial int64
+}
+
+var _ Type = CASType{}
+
+// Name implements Type.
+func (CASType) Name() string { return "compare&swap" }
+
+// Init implements Type.
+func (t CASType) Init() int64 { return t.Initial }
+
+// Ops implements Type.
+func (CASType) Ops() []OpKind { return []OpKind{Read, CompareAndSwap} }
+
+// Apply implements Type.
+func (CASType) Apply(value int64, op Op) (int64, int64) {
+	switch op.Kind {
+	case Read:
+		return value, value
+	case CompareAndSwap:
+		if value == op.Arg2 {
+			return op.Arg, value
+		}
+		return value, value
+	}
+	panic(unsupported("compare&swap", op))
+}
+
+func unsupported(name string, op Op) string {
+	return fmt.Sprintf("object: %s does not support %v", name, op)
+}
+
+// StickyBitType is a sticky bit (Plotkin): initially unset (0), the first
+// Stick operation fixes the value forever, and every Stick responds with
+// the stuck value.  Values 1 and 2 encode the binary proposals 0 and 1.
+// Sticky bits are the canonical consensus object: not historyless, not
+// interfering, consensus number ∞ — like compare&swap, one instance
+// suffices for n-process consensus.
+type StickyBitType struct{}
+
+var _ Type = StickyBitType{}
+
+// Name implements Type.
+func (StickyBitType) Name() string { return "sticky-bit" }
+
+// Init implements Type.
+func (StickyBitType) Init() int64 { return 0 }
+
+// Ops implements Type.
+func (StickyBitType) Ops() []OpKind { return []OpKind{Read, Stick} }
+
+// Apply implements Type.
+func (StickyBitType) Apply(value int64, op Op) (int64, int64) {
+	switch op.Kind {
+	case Read:
+		return value, value
+	case Stick:
+		if value == 0 {
+			return op.Arg, op.Arg
+		}
+		return value, value
+	}
+	panic(unsupported("sticky-bit", op))
+}

@@ -1,0 +1,389 @@
+// Package runtime provides live (goroutine-world) implementations of the
+// paper's shared-object types over sync/atomic: linearizable read-write
+// registers, swap registers, test&set registers, counters, fetch&add /
+// fetch&increment / fetch&decrement registers, and compare&swap registers.
+//
+// These are the realistic substrate for the benchmark harness and the
+// example applications; their simulator-world duals live in package
+// object.  Every type supports optional history recording (Recorder) so
+// that executions can be checked for linearizability — the correctness
+// condition §2 assumes of all shared objects — by package linearizability.
+package runtime
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"randsync/internal/object"
+)
+
+// Recorder collects a concurrent operation history.  The zero value is
+// ready to use.  Recording costs one atomic increment before and after the
+// operation plus a mutex-guarded append, none of which serialize the
+// recorded operations themselves.
+type Recorder struct {
+	clock atomic.Int64
+
+	mu  sync.Mutex
+	ops []RecordedOp
+}
+
+// RecordedOp is one completed operation: its invocation and response
+// timestamps (from the recorder's logical clock), the operation performed,
+// and the response observed.
+type RecordedOp struct {
+	Proc   int
+	Op     object.Op
+	Resp   int64
+	Call   int64
+	Return int64
+}
+
+// Record wraps fn with invocation/response timestamps and appends the
+// completed operation to the history.  It is the hook by which any object
+// — including custom or deliberately faulty ones in tests — participates
+// in recorded histories; a nil receiver records nothing.
+func (r *Recorder) Record(proc int, op object.Op, fn func() int64) int64 {
+	if r == nil {
+		return fn()
+	}
+	call := r.clock.Add(1)
+	resp := fn()
+	ret := r.clock.Add(1)
+	r.mu.Lock()
+	r.ops = append(r.ops, RecordedOp{Proc: proc, Op: op, Resp: resp, Call: call, Return: ret})
+	r.mu.Unlock()
+	return resp
+}
+
+// Ops returns a copy of the recorded history.
+func (r *Recorder) Ops() []RecordedOp {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]RecordedOp(nil), r.ops...)
+}
+
+// Len returns the number of recorded operations.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ops)
+}
+
+// Register is a linearizable read-write register.
+type Register struct {
+	v   atomic.Int64
+	rec *Recorder
+}
+
+// NewRegister returns a register with the given initial value, recording
+// to rec if non-nil.
+func NewRegister(init int64, rec *Recorder) *Register {
+	r := &Register{rec: rec}
+	r.v.Store(init)
+	return r
+}
+
+// Read returns the current value.  proc identifies the calling process for
+// history recording.
+func (r *Register) Read(proc int) int64 {
+	return r.rec.Record(proc, object.Op{Kind: object.Read}, r.v.Load)
+}
+
+// Write sets the value.
+func (r *Register) Write(proc int, v int64) {
+	r.rec.Record(proc, object.Op{Kind: object.Write, Arg: v}, func() int64 {
+		r.v.Store(v)
+		return 0
+	})
+}
+
+// SwapRegister is a register with an additional atomic Swap; like the
+// register it is historyless.
+type SwapRegister struct {
+	v   atomic.Int64
+	rec *Recorder
+}
+
+// NewSwapRegister returns a swap register with the given initial value.
+func NewSwapRegister(init int64, rec *Recorder) *SwapRegister {
+	r := &SwapRegister{rec: rec}
+	r.v.Store(init)
+	return r
+}
+
+// Read returns the current value.
+func (r *SwapRegister) Read(proc int) int64 {
+	return r.rec.Record(proc, object.Op{Kind: object.Read}, r.v.Load)
+}
+
+// Write sets the value.
+func (r *SwapRegister) Write(proc int, v int64) {
+	r.rec.Record(proc, object.Op{Kind: object.Write, Arg: v}, func() int64 {
+		r.v.Store(v)
+		return 0
+	})
+}
+
+// Swap sets the value to v and returns the previous value.
+func (r *SwapRegister) Swap(proc int, v int64) int64 {
+	return r.rec.Record(proc, object.Op{Kind: object.Swap, Arg: v}, func() int64 {
+		return r.v.Swap(v)
+	})
+}
+
+// TestAndSet is a test&set register: value set {0,1}, initially 0.
+type TestAndSet struct {
+	v   atomic.Int64
+	rec *Recorder
+}
+
+// NewTestAndSet returns a test&set register, initially 0.
+func NewTestAndSet(rec *Recorder) *TestAndSet {
+	return &TestAndSet{rec: rec}
+}
+
+// TestAndSet sets the value to 1 and returns the previous value.
+func (t *TestAndSet) TestAndSet(proc int) int64 {
+	return t.rec.Record(proc, object.Op{Kind: object.TestAndSet}, func() int64 {
+		return t.v.Swap(1)
+	})
+}
+
+// Read returns the current value.
+func (t *TestAndSet) Read(proc int) int64 {
+	return t.rec.Record(proc, object.Op{Kind: object.Read}, t.v.Load)
+}
+
+// Counter is a linearizable counter (§2): Inc, Dec, Reset and Read.
+type Counter struct {
+	v   atomic.Int64
+	rec *Recorder
+}
+
+// NewCounter returns a counter, initially 0.
+func NewCounter(rec *Recorder) *Counter {
+	return &Counter{rec: rec}
+}
+
+// Inc increments the counter.
+func (c *Counter) Inc(proc int) {
+	c.rec.Record(proc, object.Op{Kind: object.Inc}, func() int64 {
+		c.v.Add(1)
+		return 0
+	})
+}
+
+// Dec decrements the counter.
+func (c *Counter) Dec(proc int) {
+	c.rec.Record(proc, object.Op{Kind: object.Dec}, func() int64 {
+		c.v.Add(-1)
+		return 0
+	})
+}
+
+// Reset sets the counter to 0.
+func (c *Counter) Reset(proc int) {
+	c.rec.Record(proc, object.Op{Kind: object.Reset}, func() int64 {
+		c.v.Store(0)
+		return 0
+	})
+}
+
+// Read returns the current value.
+func (c *Counter) Read(proc int) int64 {
+	return c.rec.Record(proc, object.Op{Kind: object.Read}, c.v.Load)
+}
+
+// FetchAdd is a fetch&add register.
+type FetchAdd struct {
+	v   atomic.Int64
+	rec *Recorder
+}
+
+// NewFetchAdd returns a fetch&add register with the given initial value.
+func NewFetchAdd(init int64, rec *Recorder) *FetchAdd {
+	f := &FetchAdd{rec: rec}
+	f.v.Store(init)
+	return f
+}
+
+// FetchAdd adds delta and returns the previous value.
+func (f *FetchAdd) FetchAdd(proc int, delta int64) int64 {
+	return f.rec.Record(proc, object.Op{Kind: object.FetchAdd, Arg: delta}, func() int64 {
+		return f.v.Add(delta) - delta
+	})
+}
+
+// Read returns the current value.
+func (f *FetchAdd) Read(proc int) int64 {
+	return f.rec.Record(proc, object.Op{Kind: object.Read}, f.v.Load)
+}
+
+// FetchInc is a fetch&increment register (Theorem 4.4 lists it as a
+// single-instance solution to randomized consensus alongside fetch&add).
+type FetchInc struct {
+	v   atomic.Int64
+	rec *Recorder
+}
+
+// NewFetchInc returns a fetch&increment register, initially 0.
+func NewFetchInc(rec *Recorder) *FetchInc {
+	return &FetchInc{rec: rec}
+}
+
+// FetchInc increments the value and returns the previous value.
+func (f *FetchInc) FetchInc(proc int) int64 {
+	return f.rec.Record(proc, object.Op{Kind: object.FetchInc}, func() int64 {
+		return f.v.Add(1) - 1
+	})
+}
+
+// FetchDec is a fetch&decrement register.
+type FetchDec struct {
+	v   atomic.Int64
+	rec *Recorder
+}
+
+// NewFetchDec returns a fetch&decrement register, initially 0.
+func NewFetchDec(rec *Recorder) *FetchDec {
+	return &FetchDec{rec: rec}
+}
+
+// FetchDec decrements the value and returns the previous value.
+func (f *FetchDec) FetchDec(proc int) int64 {
+	return f.rec.Record(proc, object.Op{Kind: object.FetchDec}, func() int64 {
+		return f.v.Add(-1) + 1
+	})
+}
+
+// CAS is a compare&swap register.
+type CAS struct {
+	v   atomic.Int64
+	rec *Recorder
+}
+
+// NewCAS returns a compare&swap register with the given initial value.
+func NewCAS(init int64, rec *Recorder) *CAS {
+	c := &CAS{rec: rec}
+	c.v.Store(init)
+	return c
+}
+
+// CompareAndSwap sets the value to new if it equals expected, returning
+// the previous value either way (the §2 semantics, from which success is
+// prev == expected).
+func (c *CAS) CompareAndSwap(proc int, expected, new int64) int64 {
+	op := object.Op{Kind: object.CompareAndSwap, Arg: new, Arg2: expected}
+	return c.rec.Record(proc, op, func() int64 {
+		for {
+			cur := c.v.Load()
+			if cur != expected {
+				return cur
+			}
+			if c.v.CompareAndSwap(expected, new) {
+				return expected
+			}
+		}
+	})
+}
+
+// Read returns the current value.
+func (c *CAS) Read(proc int) int64 {
+	return c.rec.Record(proc, object.Op{Kind: object.Read}, c.v.Load)
+}
+
+// StickyBit is a sticky bit: initially unset (0); the first Stick fixes
+// the value forever.  One sticky bit solves n-process consensus, like CAS.
+type StickyBit struct {
+	v   atomic.Int64
+	rec *Recorder
+}
+
+// NewStickyBit returns an unset sticky bit.
+func NewStickyBit(rec *Recorder) *StickyBit {
+	return &StickyBit{rec: rec}
+}
+
+// Stick sets the value to v (which must be nonzero) if the bit is unset
+// and returns the stuck value either way.
+func (s *StickyBit) Stick(proc int, v int64) int64 {
+	return s.rec.Record(proc, object.Op{Kind: object.Stick, Arg: v}, func() int64 {
+		for {
+			if cur := s.v.Load(); cur != 0 {
+				return cur
+			}
+			if s.v.CompareAndSwap(0, v) {
+				return v
+			}
+		}
+	})
+}
+
+// Read returns the current value (0 if unset).
+func (s *StickyBit) Read(proc int) int64 {
+	return s.rec.Record(proc, object.Op{Kind: object.Read}, s.v.Load)
+}
+
+// BoundedCounter is a counter whose value wraps within [Lo, Hi] (§2's
+// bounded counter), implemented with a CAS loop.
+type BoundedCounter struct {
+	lo, hi int64
+	v      atomic.Int64
+	rec    *Recorder
+}
+
+// NewBoundedCounter returns a bounded counter over [lo, hi], starting at 0
+// if it lies in range and at lo otherwise.
+func NewBoundedCounter(lo, hi int64, rec *Recorder) *BoundedCounter {
+	b := &BoundedCounter{lo: lo, hi: hi, rec: rec}
+	init := int64(0)
+	if lo > 0 || hi < 0 {
+		init = lo
+	}
+	b.v.Store(init)
+	return b
+}
+
+// wrap reduces x into [lo, hi].
+func (b *BoundedCounter) wrap(x int64) int64 {
+	size := b.hi - b.lo + 1
+	x = (x - b.lo) % size
+	if x < 0 {
+		x += size
+	}
+	return x + b.lo
+}
+
+// add applies a wrapped delta atomically.
+func (b *BoundedCounter) add(delta int64) {
+	for {
+		cur := b.v.Load()
+		if b.v.CompareAndSwap(cur, b.wrap(cur+delta)) {
+			return
+		}
+	}
+}
+
+// Inc increments the counter, wrapping at Hi.
+func (b *BoundedCounter) Inc(proc int) {
+	b.rec.Record(proc, object.Op{Kind: object.Inc}, func() int64 { b.add(1); return 0 })
+}
+
+// Dec decrements the counter, wrapping at Lo.
+func (b *BoundedCounter) Dec(proc int) {
+	b.rec.Record(proc, object.Op{Kind: object.Dec}, func() int64 { b.add(-1); return 0 })
+}
+
+// Reset sets the counter to the wrapped zero.
+func (b *BoundedCounter) Reset(proc int) {
+	b.rec.Record(proc, object.Op{Kind: object.Reset}, func() int64 {
+		b.v.Store(b.wrap(0))
+		return 0
+	})
+}
+
+// Read returns the current value.
+func (b *BoundedCounter) Read(proc int) int64 {
+	return b.rec.Record(proc, object.Op{Kind: object.Read}, b.v.Load)
+}

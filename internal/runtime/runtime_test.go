@@ -1,0 +1,257 @@
+package runtime
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRegisterBasics(t *testing.T) {
+	r := NewRegister(7, nil)
+	if got := r.Read(0); got != 7 {
+		t.Fatalf("initial read = %d, want 7", got)
+	}
+	r.Write(0, 42)
+	if got := r.Read(1); got != 42 {
+		t.Fatalf("read after write = %d, want 42", got)
+	}
+}
+
+func TestSwapRegister(t *testing.T) {
+	r := NewSwapRegister(1, nil)
+	if old := r.Swap(0, 2); old != 1 {
+		t.Fatalf("swap returned %d, want 1", old)
+	}
+	if got := r.Read(0); got != 2 {
+		t.Fatalf("read = %d, want 2", got)
+	}
+	r.Write(0, 9)
+	if got := r.Read(0); got != 9 {
+		t.Fatalf("read = %d, want 9", got)
+	}
+}
+
+func TestTestAndSetSingleWinner(t *testing.T) {
+	const procs = 16
+	tas := NewTestAndSet(nil)
+	var wg sync.WaitGroup
+	winners := make(chan int, procs)
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			if tas.TestAndSet(p) == 0 {
+				winners <- p
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(winners)
+	var won []int
+	for p := range winners {
+		won = append(won, p)
+	}
+	if len(won) != 1 {
+		t.Fatalf("test&set winners = %v, want exactly one", won)
+	}
+	if tas.Read(0) != 1 {
+		t.Fatal("test&set value should be 1 after use")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	const procs, each = 8, 1000
+	c := NewCounter(nil)
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Inc(p)
+			}
+			for i := 0; i < each/2; i++ {
+				c.Dec(p)
+			}
+		}(p)
+	}
+	wg.Wait()
+	if got := c.Read(0); got != procs*each/2 {
+		t.Fatalf("counter = %d, want %d", got, procs*each/2)
+	}
+	c.Reset(0)
+	if got := c.Read(0); got != 0 {
+		t.Fatalf("counter after reset = %d, want 0", got)
+	}
+}
+
+func TestFetchAddConcurrentUnique(t *testing.T) {
+	const procs = 8
+	f := NewFetchAdd(0, nil)
+	var wg sync.WaitGroup
+	got := make([]int64, procs)
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			got[p] = f.FetchAdd(p, 1)
+		}(p)
+	}
+	wg.Wait()
+	seen := make(map[int64]bool)
+	for _, v := range got {
+		if v < 0 || v >= procs || seen[v] {
+			t.Fatalf("fetch&add responses %v not a permutation of 0..%d", got, procs-1)
+		}
+		seen[v] = true
+	}
+	if f.Read(0) != procs {
+		t.Fatalf("final value = %d, want %d", f.Read(0), procs)
+	}
+}
+
+func TestFetchIncDec(t *testing.T) {
+	fi := NewFetchInc(nil)
+	if fi.FetchInc(0) != 0 || fi.FetchInc(0) != 1 {
+		t.Fatal("fetch&inc sequence wrong")
+	}
+	fd := NewFetchDec(nil)
+	if fd.FetchDec(0) != 0 || fd.FetchDec(0) != -1 {
+		t.Fatal("fetch&dec sequence wrong")
+	}
+}
+
+func TestCASOneWinner(t *testing.T) {
+	const procs = 16
+	cas := NewCAS(-1, nil)
+	var wg sync.WaitGroup
+	wins := make(chan int64, procs)
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			if cas.CompareAndSwap(p, -1, int64(p)) == -1 {
+				wins <- int64(p)
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(wins)
+	var winners []int64
+	for v := range wins {
+		winners = append(winners, v)
+	}
+	if len(winners) != 1 {
+		t.Fatalf("CAS winners = %v, want exactly one", winners)
+	}
+	if cas.Read(0) != winners[0] {
+		t.Fatalf("CAS value = %d, want winner %d", cas.Read(0), winners[0])
+	}
+}
+
+func TestCASFailureReturnsCurrent(t *testing.T) {
+	cas := NewCAS(5, nil)
+	if got := cas.CompareAndSwap(0, 3, 9); got != 5 {
+		t.Fatalf("failed CAS returned %d, want current value 5", got)
+	}
+	if cas.Read(0) != 5 {
+		t.Fatal("failed CAS must not change the value")
+	}
+}
+
+func TestRecorderCapturesHistory(t *testing.T) {
+	rec := &Recorder{}
+	r := NewRegister(0, rec)
+	r.Write(1, 5)
+	if got := r.Read(2); got != 5 {
+		t.Fatalf("read = %d", got)
+	}
+	ops := rec.Ops()
+	if len(ops) != 2 {
+		t.Fatalf("recorded %d ops, want 2", len(ops))
+	}
+	if ops[0].Proc != 1 || ops[1].Proc != 2 {
+		t.Fatalf("procs = %d,%d", ops[0].Proc, ops[1].Proc)
+	}
+	if !(ops[0].Call < ops[0].Return && ops[0].Return < ops[1].Call) {
+		t.Fatalf("timestamps not ordered: %+v", ops)
+	}
+	if rec.Len() != 2 {
+		t.Fatalf("Len = %d", rec.Len())
+	}
+}
+
+func TestNilRecorderIsNoop(t *testing.T) {
+	var rec *Recorder
+	r := NewRegister(0, rec)
+	r.Write(0, 1)
+	if r.Read(0) != 1 {
+		t.Fatal("nil recorder should not affect semantics")
+	}
+}
+
+func TestStickyBitFirstWins(t *testing.T) {
+	const procs = 12
+	s := NewStickyBit(nil)
+	var wg sync.WaitGroup
+	got := make([]int64, procs)
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			got[p] = s.Stick(p, int64(p+1))
+		}(p)
+	}
+	wg.Wait()
+	for p := 1; p < procs; p++ {
+		if got[p] != got[0] {
+			t.Fatalf("sticky responses disagree: %v", got)
+		}
+	}
+	if got[0] < 1 || got[0] > procs {
+		t.Fatalf("stuck value %d not a proposal", got[0])
+	}
+	if s.Read(0) != got[0] {
+		t.Fatal("read disagrees with stuck value")
+	}
+}
+
+func TestBoundedCounterWrapsLive(t *testing.T) {
+	b := NewBoundedCounter(-2, 2, nil)
+	for i := 0; i < 3; i++ {
+		b.Inc(0)
+	}
+	if got := b.Read(0); got != -2 {
+		t.Fatalf("after 3 incs from 0 in [-2,2]: %d, want -2", got)
+	}
+	b.Reset(0)
+	if got := b.Read(0); got != 0 {
+		t.Fatalf("reset: %d", got)
+	}
+	b.Dec(0)
+	b.Dec(0)
+	b.Dec(0)
+	if got := b.Read(0); got != 2 {
+		t.Fatalf("after 3 decs from 0: %d, want wrap to 2", got)
+	}
+}
+
+func TestBoundedCounterConcurrentNoLostUpdates(t *testing.T) {
+	// Within a huge range (no wrapping), the CAS loop must not lose
+	// updates under contention.
+	const procs, each = 8, 500
+	b := NewBoundedCounter(-1<<30, 1<<30, nil)
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				b.Inc(p)
+			}
+		}(p)
+	}
+	wg.Wait()
+	if got := b.Read(0); got != procs*each {
+		t.Fatalf("bounded counter = %d, want %d", got, procs*each)
+	}
+}

@@ -1,0 +1,38 @@
+package sim
+
+import "testing"
+
+// BenchmarkStep measures raw simulator stepping.
+func BenchmarkStep(b *testing.B) {
+	c := NewConfig(writeReadProto{}, []int64{0, 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := c.Clone()
+		for pid := 0; pid < 2; pid++ {
+			for d.Pending(pid).Kind != ActHalt {
+				if _, err := d.Step(pid, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkSoloTerminate measures the solo-termination search.
+func BenchmarkSoloTerminate(b *testing.B) {
+	c := NewConfig(writeReadProto{}, []int64{0, 1})
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := SoloTerminate(c, 0, 100); !ok {
+			b.Fatal("no termination")
+		}
+	}
+}
+
+// BenchmarkKey measures configuration hashing (the model checker's inner
+// loop cost).
+func BenchmarkKey(b *testing.B) {
+	c := NewConfig(writeReadProto{}, []int64{0, 1, 0, 1})
+	for i := 0; i < b.N; i++ {
+		_ = c.Key()
+	}
+}

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// RunResult reports one seeded simulation run.
+type RunResult struct {
+	// Decisions maps decided values to deciding processes.
+	Decisions map[int64][]int
+	// Steps is the total number of steps taken.
+	Steps int
+	// StepsPerProc is the per-process step count.
+	StepsPerProc []int
+	// Exec is the full execution (nil unless requested).
+	Exec Execution
+}
+
+// RunOptions configure Run.
+type RunOptions struct {
+	// MaxSteps aborts the run after this many total steps (0 = 1<<20).
+	MaxSteps int
+	// RecordExec retains the full execution in the result.
+	RecordExec bool
+}
+
+func (o RunOptions) maxSteps() int {
+	if o.MaxSteps <= 0 {
+		return 1 << 20
+	}
+	return o.MaxSteps
+}
+
+// Run executes proto from the given inputs under a seeded uniformly random
+// scheduler, resolving coin flips uniformly at random, until every process
+// has decided (or halted) or the step budget is exhausted.
+//
+// Run gives the simulator world a deterministic, reproducible analogue of
+// "just run it with goroutines": useful for measuring step counts and
+// decision distributions of randomized protocols without real-scheduler
+// bias, and for cross-checking the live implementations against their
+// simulator twins.
+func Run(proto Protocol, inputs []int64, seed uint64, opts RunOptions) (*RunResult, error) {
+	rng := rand.New(rand.NewPCG(seed, 0x9E3779B9))
+	c := NewConfig(proto, inputs)
+	res := &RunResult{StepsPerProc: make([]int, len(inputs))}
+
+	live := make([]int, 0, len(inputs))
+	for pid := range inputs {
+		if c.Pending(pid).Kind != ActHalt {
+			live = append(live, pid)
+		}
+	}
+
+	for res.Steps < opts.maxSteps() && len(live) > 0 {
+		i := rng.IntN(len(live))
+		pid := live[i]
+		a := c.Pending(pid)
+		var outcome int64
+		if a.Kind == ActFlip {
+			outcome = rng.Int64N(a.Sides)
+		}
+		ev, err := c.Step(pid, outcome)
+		if err != nil {
+			return nil, fmt.Errorf("sim: run step %d: %w", res.Steps, err)
+		}
+		if opts.RecordExec {
+			res.Exec = append(res.Exec, ev)
+		}
+		res.Steps++
+		res.StepsPerProc[pid]++
+		if c.Pending(pid).Kind == ActHalt {
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+	if len(live) > 0 {
+		return nil, fmt.Errorf("sim: run did not complete within %d steps (%d processes live)",
+			opts.maxSteps(), len(live))
+	}
+	res.Decisions = c.Decisions()
+	return res, nil
+}
+
+// Sample runs trials seeded 1..trials and aggregates step statistics and
+// the decision distribution (the value decided by the run; runs deciding
+// multiple values — impossible for correct protocols — are counted under
+// each value and reported as inconsistent).
+type SampleResult struct {
+	Trials       int
+	MeanSteps    float64
+	MaxSteps     int
+	Decisions    map[int64]int
+	Inconsistent int
+}
+
+// Sample aggregates Run over the given number of seeded trials.
+func Sample(proto Protocol, inputs []int64, trials int, opts RunOptions) (*SampleResult, error) {
+	out := &SampleResult{Trials: trials, Decisions: make(map[int64]int)}
+	total := 0
+	for trial := 1; trial <= trials; trial++ {
+		res, err := Run(proto, inputs, uint64(trial), opts)
+		if err != nil {
+			return nil, fmt.Errorf("sim: trial %d: %w", trial, err)
+		}
+		total += res.Steps
+		if res.Steps > out.MaxSteps {
+			out.MaxSteps = res.Steps
+		}
+		if len(res.Decisions) > 1 {
+			out.Inconsistent++
+		}
+		for v := range res.Decisions {
+			out.Decisions[v]++
+		}
+	}
+	out.MeanSteps = float64(total) / float64(trials)
+	return out, nil
+}

@@ -1,0 +1,109 @@
+package sim
+
+// SoloTerminate searches for a finite solo execution of process pid
+// starting from c in which pid decides, realizing the nondeterministic solo
+// termination property of §2: "for every configuration C and every process
+// P, there exists a finite solo execution, starting at C, in which P
+// finishes executing its procedure."
+//
+// Shared-object steps are deterministic in a solo run; coin flips are the
+// only branch points, and SoloTerminate backtracks over their outcomes
+// (depth-first, outcome 0 first) until a deciding run of at most maxSteps
+// steps is found.  c is not modified.
+//
+// If pid has already decided, the empty execution and its decision are
+// returned.  ok is false if no deciding solo run of length ≤ maxSteps
+// exists — for a protocol satisfying nondeterministic solo termination this
+// means maxSteps was too small.
+func SoloTerminate(c *Config, pid, maxSteps int) (exec Execution, decision int64, ok bool) {
+	if c.Decided[pid] {
+		return nil, c.Decision[pid], true
+	}
+	work := c.Clone()
+	var out Execution
+
+	// dfs advances work (and out) until pid decides or the step budget is
+	// exhausted, backtracking over flip outcomes.  It reports whether a
+	// deciding run was found; on failure it restores work and out.
+	var dfs func(w *Config, depth int) bool
+	dfs = func(w *Config, depth int) bool {
+		for depth < maxSteps {
+			if w.Decided[pid] {
+				return true
+			}
+			a := w.States[pid].Action()
+			switch a.Kind {
+			case ActHalt:
+				// Halted without deciding: a protocol bug; treat as failure.
+				return false
+			case ActFlip:
+				for o := int64(0); o < a.Sides; o++ {
+					snap := w.Clone()
+					mark := len(out)
+					ev, err := w.Step(pid, o)
+					if err != nil {
+						return false
+					}
+					out = append(out, ev)
+					if dfs(w, depth+1) {
+						return true
+					}
+					*w = *snap
+					out = out[:mark]
+				}
+				return false
+			default:
+				ev, err := w.Step(pid, 0)
+				if err != nil {
+					return false
+				}
+				out = append(out, ev)
+				depth++
+			}
+		}
+		return w.Decided[pid]
+	}
+
+	if !dfs(work, 0) {
+		return nil, 0, false
+	}
+	return out, work.Decision[pid], true
+}
+
+// SoloDecisions returns the set of values pid can decide in solo executions
+// of at most maxSteps steps from c, exploring all flip outcomes.  It is
+// used by checkers to detect configurations from which a process can still
+// decide either value.
+func SoloDecisions(c *Config, pid, maxSteps int) map[int64]bool {
+	found := make(map[int64]bool)
+	var dfs func(w *Config, depth int)
+	dfs = func(w *Config, depth int) {
+		if w.Decided[pid] {
+			found[w.Decision[pid]] = true
+			return
+		}
+		if depth >= maxSteps {
+			return
+		}
+		a := w.States[pid].Action()
+		switch a.Kind {
+		case ActHalt:
+			return
+		case ActFlip:
+			for o := int64(0); o < a.Sides; o++ {
+				branch := w.Clone()
+				if _, err := branch.Step(pid, o); err != nil {
+					return
+				}
+				dfs(branch, depth+1)
+			}
+		default:
+			if _, err := w.Step(pid, 0); err != nil {
+				return
+			}
+			dfs(w, depth+1)
+		}
+	}
+	dfs(c.Clone(), 0)
+	return found
+}

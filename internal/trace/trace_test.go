@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"randsync/internal/core"
+	"randsync/internal/protocol"
+	"randsync/internal/sim"
+)
+
+func witness(t *testing.T) *core.Witness {
+	t.Helper()
+	w, err := core.FindIdentical(protocol.NewRegisterFlood(2), core.IdenticalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestAnnotate(t *testing.T) {
+	w := witness(t)
+	out, err := Annotate(w.Proto, w.Inputs, w.Exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "decides 0") || !strings.Contains(out, "decides 1") {
+		t.Fatalf("annotation missing decisions:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != len(w.Exec)+1 {
+		t.Fatal("annotation should have one line per event plus a header")
+	}
+}
+
+func TestAnnotateRejectsIllegal(t *testing.T) {
+	w := witness(t)
+	bad := append(sim.Execution{}, w.Exec...)
+	bad[0].Result = 99
+	if _, err := Annotate(w.Proto, w.Inputs, bad); err == nil {
+		t.Fatal("expected error for illegal execution")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	w := witness(t)
+	out := Summarize(w)
+	for _, want := range []string{"flood(register,register)", "inconsistency", "value 0 decided", "value 1 decided"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBlockWrites(t *testing.T) {
+	w, err := core.FindGeneral(protocol.NewSwapFlood(3), core.GeneralOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := BlockWrites(w)
+	if !strings.Contains(out, "block write to") {
+		t.Fatalf("expected block writes in a general witness:\n%s", out)
+	}
+}
+
+func TestLanes(t *testing.T) {
+	w := witness(t)
+	out, err := Lanes(w.Proto, w.Inputs, w.Exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != len(w.Exec)+1 {
+		t.Fatalf("lanes rows = %d, want %d", len(lines), len(w.Exec)+1)
+	}
+	if !strings.Contains(lines[0], "P0(in=0)") {
+		t.Fatalf("header missing process column: %q", lines[0])
+	}
+}
+
+func TestLanesEmpty(t *testing.T) {
+	w := witness(t)
+	out, err := Lanes(w.Proto, w.Inputs, nil)
+	if err != nil || !strings.Contains(out, "empty") {
+		t.Fatalf("empty execution: %q, %v", out, err)
+	}
+}

@@ -1,0 +1,32 @@
+package universal
+
+import (
+	"testing"
+
+	"randsync/internal/object"
+)
+
+// BenchmarkUniversalApply measures one operation through the CAS-backed
+// universal object (log consensus + replay), single process.
+func BenchmarkUniversalApply(b *testing.B) {
+	u, err := New(object.CounterType{}, 4, casFactory, Options{MaxOps: b.N + 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := u.Apply(0, object.Op{Kind: object.Inc}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMultiPropose measures one bit-by-bit multi-valued agreement.
+func BenchmarkMultiPropose(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := NewMulti(4, casFactory, uint64(i))
+		if _, err := m.Propose(0, 12345); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,276 @@
+// Package universal implements Herlihy's universal construction: a
+// wait-free linearizable shared object of any sequential type (package
+// object) for n processes, built from consensus.
+//
+// This realizes the application §1 of the paper motivates — "the software
+// implementation of one synchronization object from another", which "allows
+// easy porting of concurrent algorithms among machines with different
+// hardware synchronization support".  The construction is parameterized by
+// a factory of *binary* consensus instances (the primitive whose space
+// complexity the paper studies): multi-valued agreement is built from
+// binary agreement bit by bit, and the object itself from a log of agreed
+// operations.
+//
+//   - With the CAS-backed factory, the object costs one compare&swap
+//     register per decided bit.
+//   - With the register-backed factory (consensus.NewRegisters), the
+//     result is an arbitrary wait-free linearizable object from read-write
+//     registers and randomization alone — impossible deterministically.
+//
+// The construction is wait-free by helping: at log slot k, every process
+// proposes the oldest unfulfilled announcement of process k mod n if there
+// is one, so every announced operation is decided within n slots.
+package universal
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"randsync/internal/object"
+)
+
+// BinaryConsensus is one single-shot binary agreement instance.
+type BinaryConsensus interface {
+	Decide(proc int, input int64) int64
+}
+
+// Factory creates fresh binary consensus instances for n processes.
+type Factory func(n int, seed uint64) BinaryConsensus
+
+// valueBits is the width of multi-valued agreement: values are
+// (proc << seqBits) | seq.
+const (
+	seqBits   = 24
+	procBits  = 16
+	valueBits = seqBits + procBits
+)
+
+// Multi agrees on one of the values proposed by the participating
+// processes, using valueBits binary consensus instances plus n proposal
+// registers (the classical bit-by-bit reduction).
+//
+// Correctness invariant: after each decided bit, at least one published
+// proposal is consistent with the decided prefix — every process proposes
+// the next bit of some consistent published value (its own if still
+// consistent), and the decided bit is one of those proposals, so the
+// proposer's candidate stays consistent.  After all bits, the decided
+// string equals a published value.
+type Multi struct {
+	n     int
+	props []atomic.Int64 // published proposals; 0 = none, else value+1
+	bits  []BinaryConsensus
+}
+
+// NewMulti returns a multi-valued consensus instance for n processes.
+func NewMulti(n int, factory Factory, seed uint64) *Multi {
+	m := &Multi{
+		n:     n,
+		props: make([]atomic.Int64, n),
+		bits:  make([]BinaryConsensus, valueBits),
+	}
+	for b := range m.bits {
+		m.bits[b] = factory(n, seed+uint64(b))
+	}
+	return m
+}
+
+// Propose agrees on one of the proposed values.  value must be in
+// [0, 2^valueBits).
+//
+// A process may call Propose more than once on the same instance (the
+// universal object's Read and Apply both drive log slots); publications
+// are write-once per process so that the value carrying the consistency
+// invariant is never erased, and every bit proposed is the bit of some
+// *published* value, keeping decided prefixes anchored to publications.
+func (m *Multi) Propose(proc int, value int64) (int64, error) {
+	if value < 0 || value >= 1<<valueBits {
+		return 0, fmt.Errorf("universal: proposal %d out of range [0, 2^%d)", value, valueBits)
+	}
+	m.props[proc].CompareAndSwap(0, value+1)
+	mine := m.props[proc].Load() - 1
+
+	var prefix int64
+	for b := valueBits - 1; b >= 0; b-- {
+		// Find a published value consistent with the decided prefix,
+		// preferring our own publication.
+		shift := uint(b + 1)
+		candidate := mine
+		if candidate>>shift != prefix>>shift {
+			candidate = -1
+			for j := 0; j < m.n && candidate < 0; j++ {
+				if p := m.props[j].Load(); p != 0 && (p-1)>>shift == prefix>>shift {
+					candidate = p - 1
+				}
+			}
+			if candidate < 0 {
+				// Unreachable if the invariant holds: our own published
+				// value was consistent initially and every decided bit
+				// preserved some consistent publication.
+				return 0, fmt.Errorf("universal: no published value consistent with prefix %b", prefix)
+			}
+		}
+		myBit := (candidate >> uint(b)) & 1
+		decided := m.bits[valueBits-1-b].Decide(proc, myBit)
+		prefix |= decided << uint(b)
+	}
+	return prefix, nil
+}
+
+// announcement is one pending operation.
+type announcement struct {
+	op object.Op
+}
+
+// Universal is a wait-free linearizable shared object of sequential type
+// typ for n processes.
+type Universal struct {
+	typ      object.Type
+	n        int
+	maxSlots int
+	slots    []*Multi
+	// announced[p] holds process p's operations; announcedLen[p] is the
+	// published count (store-release after the slot is filled).
+	announced    [][]atomic.Pointer[announcement]
+	announcedLen []atomic.Int64
+}
+
+// Options configure New.
+type Options struct {
+	// MaxOps bounds the total operations the object can serve (the log
+	// and per-process announcement arrays are preallocated for
+	// wait-freedom).  0 means 4096.
+	MaxOps int
+	// Seed seeds the consensus factory.
+	Seed uint64
+}
+
+func (o Options) maxOps() int {
+	if o.MaxOps <= 0 {
+		return 4096
+	}
+	return o.MaxOps
+}
+
+// New returns a universal wait-free implementation of typ for n processes
+// using binary consensus instances from factory.
+func New(typ object.Type, n int, factory Factory, opts Options) (*Universal, error) {
+	if n > 1<<procBits {
+		return nil, fmt.Errorf("universal: n=%d exceeds %d processes", n, 1<<procBits)
+	}
+	max := opts.maxOps()
+	if max > 1<<seqBits {
+		return nil, fmt.Errorf("universal: MaxOps=%d exceeds %d", max, 1<<seqBits)
+	}
+	u := &Universal{
+		typ:          typ,
+		n:            n,
+		maxSlots:     max,
+		slots:        make([]*Multi, max),
+		announced:    make([][]atomic.Pointer[announcement], n),
+		announcedLen: make([]atomic.Int64, n),
+	}
+	for i := range u.slots {
+		u.slots[i] = NewMulti(n, factory, opts.Seed+uint64(i)*uint64(valueBits))
+	}
+	for p := range u.announced {
+		u.announced[p] = make([]atomic.Pointer[announcement], max)
+	}
+	return u, nil
+}
+
+// replay deterministically applies log winners; used by every process to
+// compute responses locally.
+type replay struct {
+	value   int64
+	applied []int64 // per-process count of applied announcements
+}
+
+// Apply performs op on the shared object on behalf of proc, returning the
+// operation's response at its linearization point.
+//
+// Each process must call Apply sequentially (one operation at a time), as
+// with any shared-object port: proc identifies the calling thread.
+func (u *Universal) Apply(proc int, op object.Op) (int64, error) {
+	if err := object.Validate(u.typ, op); err != nil {
+		return 0, err
+	}
+	// Announce.
+	seq := u.announcedLen[proc].Load()
+	if int(seq) >= u.maxSlots {
+		return 0, fmt.Errorf("universal: operation capacity %d exhausted", u.maxSlots)
+	}
+	u.announced[proc][seq].Store(&announcement{op: op})
+	u.announcedLen[proc].Add(1)
+
+	// Drive the log until our announcement is decided into some slot.
+	state := replay{value: u.typ.Init(), applied: make([]int64, u.n)}
+	for slot := 0; slot < u.maxSlots; slot++ {
+		proposal := u.helpProposal(slot, state, proc, seq)
+		decided, err := u.slots[slot].Propose(proc, proposal)
+		if err != nil {
+			return 0, err
+		}
+		winProc := int(decided >> seqBits)
+		winSeq := decided & (1<<seqBits - 1)
+		ann := u.announced[winProc][winSeq].Load()
+		if ann == nil {
+			return 0, fmt.Errorf("universal: slot %d decided unannounced op (P%d #%d)", slot, winProc, winSeq)
+		}
+		newValue, resp := u.typ.Apply(state.value, ann.op)
+		state.value = newValue
+		state.applied[winProc]++
+		if winProc == proc && winSeq == seq {
+			return resp, nil
+		}
+	}
+	return 0, fmt.Errorf("universal: log capacity %d exhausted before operation decided", u.maxSlots)
+}
+
+// helpProposal picks the value to propose at slot: the oldest unfulfilled
+// announcement of the helped process (slot mod n) if one is visible, and
+// our own pending announcement otherwise.
+func (u *Universal) helpProposal(slot int, state replay, proc int, seq int64) int64 {
+	helped := slot % u.n
+	if next := state.applied[helped]; next < u.announcedLen[helped].Load() {
+		return int64(helped)<<seqBits | next
+	}
+	return int64(proc)<<seqBits | seq
+}
+
+// Read returns the object's current value by replaying the decided prefix
+// of the log.  It is a convenience for tests and examples; concurrent
+// Applies may extend the log immediately afterwards.
+//
+// Read participates in consensus (it must, to learn each slot's winner),
+// proposing already-decided values only; it never inserts an operation.
+func (u *Universal) Read(proc int) (int64, error) {
+	state := replay{value: u.typ.Init(), applied: make([]int64, u.n)}
+	for slot := 0; slot < u.maxSlots; slot++ {
+		// Probe the slot without inserting: propose the oldest visible
+		// announcement (any will do — if the slot is undecided and no
+		// announcements are pending, the log ends here).
+		proposal := int64(-1)
+		for p := 0; p < u.n && proposal < 0; p++ {
+			if next := state.applied[p]; next < u.announcedLen[p].Load() {
+				proposal = int64(p)<<seqBits | next
+			}
+		}
+		if proposal < 0 {
+			return state.value, nil
+		}
+		decided, err := u.slots[slot].Propose(proc, proposal)
+		if err != nil {
+			return 0, err
+		}
+		winProc := int(decided >> seqBits)
+		winSeq := decided & (1<<seqBits - 1)
+		ann := u.announced[winProc][winSeq].Load()
+		if ann == nil {
+			return 0, fmt.Errorf("universal: slot %d decided unannounced op", slot)
+		}
+		newValue, _ := u.typ.Apply(state.value, ann.op)
+		state.value = newValue
+		state.applied[winProc]++
+	}
+	return state.value, nil
+}

@@ -1,0 +1,41 @@
+package valency
+
+import (
+	"testing"
+
+	"randsync/internal/protocol"
+)
+
+// BenchmarkCheckCounterWalk measures exhaustive exploration throughput on
+// the three-counter protocol (the E4/E6 safety certificates).
+func BenchmarkCheckCounterWalk(b *testing.B) {
+	p := protocol.NewCounterWalk(2)
+	var configs int
+	for i := 0; i < b.N; i++ {
+		rep := Check(p, []int64{0, 1}, Options{})
+		configs = rep.Configs
+	}
+	b.ReportMetric(float64(configs), "configs")
+}
+
+// BenchmarkCheckRegisterConsensus measures the register-protocol
+// certificate at n=2, 2 rounds.
+func BenchmarkCheckRegisterConsensus(b *testing.B) {
+	p := protocol.NewRegisterConsensus(2, 2)
+	var configs int
+	for i := 0; i < b.N; i++ {
+		rep := Check(p, []int64{0, 1}, Options{})
+		configs = rep.Configs
+	}
+	b.ReportMetric(float64(configs), "configs")
+}
+
+// BenchmarkBivalence measures the valence analysis (graph + fixpoint).
+func BenchmarkBivalence(b *testing.B) {
+	p := protocol.NewCounterWalk(2)
+	for i := 0; i < b.N; i++ {
+		if _, err := Bivalence(p, []int64{0, 1}, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

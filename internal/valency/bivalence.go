@@ -1,0 +1,289 @@
+package valency
+
+import (
+	"fmt"
+
+	"randsync/internal/sim"
+)
+
+// Valence classifies a configuration by the set of values decidable from
+// it (over all schedules and coin outcomes).
+type Valence uint8
+
+const (
+	// Univalent0: only 0 is reachable.
+	Univalent0 Valence = iota
+	// Univalent1: only 1 is reachable.
+	Univalent1
+	// Bivalent: both values are reachable.
+	Bivalent
+	// Undecidable: no decision is reachable (a defective protocol).
+	Undecidable
+)
+
+// String implements fmt.Stringer.
+func (v Valence) String() string {
+	switch v {
+	case Univalent0:
+		return "0-valent"
+	case Univalent1:
+		return "1-valent"
+	case Bivalent:
+		return "bivalent"
+	case Undecidable:
+		return "undecidable"
+	}
+	return fmt.Sprintf("valence(%d)", uint8(v))
+}
+
+// BivalenceReport is the result of the valence analysis: the executable
+// content of the bivalence arguments behind the impossibility results the
+// paper builds on ([2, 15, 16, 20, 26]) and the reason its randomized
+// protocols must admit non-terminating executions.
+type BivalenceReport struct {
+	// Initial is the valence of the initial configuration.
+	Initial Valence
+	// Configs is the number of distinct configurations analyzed.
+	Configs int
+	// Complete reports whether the reachable space fit in the budget;
+	// valences are only trustworthy when true.
+	Complete bool
+	// BivalentCount is the number of bivalent configurations.
+	BivalentCount int
+	// ForeverBivalent is true if, from the initial configuration, the
+	// adversary can keep the system bivalent forever: from every bivalent
+	// configuration it controls a step (a process choice, plus a coin
+	// outcome where applicable) leading to another bivalent
+	// configuration, and a bivalent cycle or infinite path exists.
+	ForeverBivalent bool
+	// CriticalTrace, when the initial configuration is bivalent but the
+	// adversary cannot stay bivalent forever, reaches a critical
+	// configuration: bivalent, but every adversary-controlled step leads
+	// to a univalent configuration.  Empty otherwise.
+	CriticalTrace sim.Execution
+}
+
+// Bivalence analyzes the valence structure of proto on the given inputs.
+//
+// For a deterministic protocol, ForeverBivalent corresponds to the FLP/LA
+// impossibility situation: the adversary schedules processes so that no
+// decision is ever fixed.  For the randomized protocols in this
+// repository, ForeverBivalent is expected — the paper notes that any
+// randomized register consensus "must have non-terminating executions...
+// with correspondingly small probabilities" — because the adversary
+// controls coin outcomes in this analysis.
+func Bivalence(proto sim.Protocol, inputs []int64, opts Options) (*BivalenceReport, error) {
+	type node struct {
+		cfg    *sim.Config
+		succ   []string
+		reach0 bool
+		reach1 bool
+	}
+	nodes := make(map[string]*node)
+	budget := opts.maxConfigs()
+
+	// Phase 1: materialize the reachable configuration graph.
+	initial := sim.NewConfig(proto, inputs)
+	queue := []*sim.Config{initial}
+	nodes[initial.Key()] = &node{cfg: initial}
+	for len(queue) > 0 {
+		if len(nodes) > budget {
+			return &BivalenceReport{Complete: false, Configs: len(nodes)}, nil
+		}
+		c := queue[0]
+		queue = queue[1:]
+		n := nodes[c.Key()]
+		for pid := 0; pid < c.N(); pid++ {
+			a := c.Pending(pid)
+			if a.Kind == sim.ActHalt {
+				continue
+			}
+			outcomes := []int64{0}
+			if a.Kind == sim.ActFlip {
+				outcomes = outcomes[:0]
+				for o := int64(0); o < a.Sides; o++ {
+					outcomes = append(outcomes, o)
+				}
+			}
+			for _, o := range outcomes {
+				next := c.Clone()
+				if _, err := next.Step(pid, o); err != nil {
+					return nil, fmt.Errorf("valency: bivalence step: %w", err)
+				}
+				key := next.Key()
+				n.succ = append(n.succ, key)
+				if _, seen := nodes[key]; !seen {
+					nodes[key] = &node{cfg: next}
+					queue = append(queue, next)
+				}
+			}
+		}
+	}
+
+	// Phase 2: propagate reachable decisions backwards to a fixpoint.
+	for _, n := range nodes {
+		d := n.cfg.Decisions()
+		if len(d[0]) > 0 {
+			n.reach0 = true
+		}
+		if len(d[1]) > 0 {
+			n.reach1 = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range nodes {
+			for _, s := range n.succ {
+				sn := nodes[s]
+				if sn.reach0 && !n.reach0 {
+					n.reach0, changed = true, true
+				}
+				if sn.reach1 && !n.reach1 {
+					n.reach1, changed = true, true
+				}
+			}
+		}
+	}
+
+	valence := func(n *node) Valence {
+		switch {
+		case n.reach0 && n.reach1:
+			return Bivalent
+		case n.reach0:
+			return Univalent0
+		case n.reach1:
+			return Univalent1
+		default:
+			return Undecidable
+		}
+	}
+
+	rep := &BivalenceReport{
+		Initial:  valence(nodes[initial.Key()]),
+		Configs:  len(nodes),
+		Complete: true,
+	}
+	for _, n := range nodes {
+		if valence(n) == Bivalent {
+			rep.BivalentCount++
+		}
+	}
+
+	if rep.Initial != Bivalent {
+		return rep, nil
+	}
+
+	// Phase 3: can the adversary stay bivalent forever?  Compute the
+	// largest "safe" set S of bivalent configurations such that every
+	// member has a successor in S; the adversary survives iff the initial
+	// configuration is in S (a bivalent path from it must eventually
+	// cycle, since the graph is finite).
+	safe := make(map[string]bool, rep.BivalentCount)
+	for k, n := range nodes {
+		if valence(n) == Bivalent {
+			safe[k] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for k := range safe {
+			ok := false
+			for _, s := range nodes[k].succ {
+				if safe[s] {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				delete(safe, k)
+				changed = true
+			}
+		}
+	}
+	if safe[initial.Key()] {
+		rep.ForeverBivalent = true
+		return rep, nil
+	}
+
+	// Phase 4: the adversary is eventually forced out of bivalence —
+	// find a critical configuration (bivalent, all successors univalent)
+	// by greedy descent through bivalent successors.
+	cur := initial.Key()
+	visited := map[string]bool{cur: true}
+	var traceCfg *sim.Config
+	for {
+		n := nodes[cur]
+		nextBivalent := ""
+		for _, s := range n.succ {
+			if valence(nodes[s]) == Bivalent && !visited[s] {
+				nextBivalent = s
+				break
+			}
+		}
+		if nextBivalent == "" {
+			traceCfg = n.cfg
+			break
+		}
+		visited[nextBivalent] = true
+		cur = nextBivalent
+	}
+	// Reconstruct a trace to the critical configuration by re-exploring
+	// (cheap relative to phase 1 for the small instances this targets).
+	if traceCfg != nil {
+		if tr, ok := findTrace(proto, inputs, traceCfg.Key(), budget); ok {
+			rep.CriticalTrace = tr
+		}
+	}
+	return rep, nil
+}
+
+// findTrace breadth-first searches for an execution from the initial
+// configuration to the configuration with the given key.
+func findTrace(proto sim.Protocol, inputs []int64, target string, budget int) (sim.Execution, bool) {
+	type item struct {
+		cfg  *sim.Config
+		exec sim.Execution
+	}
+	initial := sim.NewConfig(proto, inputs)
+	if initial.Key() == target {
+		return nil, true
+	}
+	seen := map[string]bool{initial.Key(): true}
+	queue := []item{{cfg: initial}}
+	for len(queue) > 0 && len(seen) <= budget {
+		it := queue[0]
+		queue = queue[1:]
+		c := it.cfg
+		for pid := 0; pid < c.N(); pid++ {
+			a := c.Pending(pid)
+			if a.Kind == sim.ActHalt {
+				continue
+			}
+			outcomes := []int64{0}
+			if a.Kind == sim.ActFlip {
+				outcomes = outcomes[:0]
+				for o := int64(0); o < a.Sides; o++ {
+					outcomes = append(outcomes, o)
+				}
+			}
+			for _, o := range outcomes {
+				next := c.Clone()
+				ev, err := next.Step(pid, o)
+				if err != nil {
+					continue
+				}
+				key := next.Key()
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				exec := append(append(sim.Execution{}, it.exec...), ev)
+				if key == target {
+					return exec, true
+				}
+				queue = append(queue, item{cfg: next, exec: exec})
+			}
+		}
+	}
+	return nil, false
+}

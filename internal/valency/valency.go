@@ -1,0 +1,255 @@
+// Package valency is an exhaustive model checker for consensus protocols in
+// the simulator world.  It explores every reachable configuration of a
+// protocol — branching over the scheduler's choice of which process steps
+// next and over every outcome of every coin flip, the adversarial reading
+// of randomization used throughout the paper — and checks the two
+// correctness conditions of §2:
+//
+//	Consistency: the DECIDE operations of all processes return the same value.
+//	Validity:    every decided value is the input of some process.
+//
+// It also reports liveness defects (a process that halts without deciding)
+// and whether undecided executions can run forever (inevitable for any
+// randomized register protocol, per the paper's observation that
+// non-terminating executions must exist but occur with small probability).
+//
+// For the small instances used in tests the reachable configuration space
+// is finite, so a clean report is an exhaustive safety certificate: no
+// schedule and no sequence of coin outcomes can produce disagreement.
+package valency
+
+import (
+	"fmt"
+
+	"randsync/internal/sim"
+)
+
+// ViolationKind classifies what the checker found.
+type ViolationKind uint8
+
+const (
+	// Consistency: two processes decided different values.
+	Consistency ViolationKind = iota
+	// Validity: a process decided a value that is no process's input.
+	Validity
+	// Stuck: a process halted without deciding.
+	Stuck
+)
+
+// String implements fmt.Stringer.
+func (k ViolationKind) String() string {
+	switch k {
+	case Consistency:
+		return "consistency"
+	case Validity:
+		return "validity"
+	case Stuck:
+		return "stuck"
+	}
+	return fmt.Sprintf("violationkind(%d)", uint8(k))
+}
+
+// Violation is a concrete counterexample: an execution from the initial
+// configuration ending in the offending configuration.
+type Violation struct {
+	Kind   ViolationKind
+	Trace  sim.Execution
+	Detail string
+}
+
+// Error renders the violation; Violation is not an error type because a
+// found violation is a successful analysis outcome for flawed protocols.
+func (v *Violation) String() string {
+	return fmt.Sprintf("%s violation: %s (trace of %d steps)", v.Kind, v.Detail, len(v.Trace))
+}
+
+// Options bound the exploration.
+type Options struct {
+	// MaxConfigs caps the number of distinct configurations explored;
+	// beyond it the report is marked incomplete.  0 means 1<<20.
+	MaxConfigs int
+}
+
+func (o Options) maxConfigs() int {
+	if o.MaxConfigs <= 0 {
+		return 1 << 20
+	}
+	return o.MaxConfigs
+}
+
+// Report is the result of exploring one input vector.
+type Report struct {
+	// Inputs is the input vector explored.
+	Inputs []int64
+	// Complete is true if the full reachable configuration space was
+	// explored within the budget.
+	Complete bool
+	// Configs is the number of distinct configurations visited.
+	Configs int
+	// Violation is the first violation found, or nil.
+	Violation *Violation
+	// Decisions is the set of values decided in some reachable
+	// configuration.
+	Decisions map[int64]bool
+	// Livelock is true if some cycle of configurations with undecided
+	// processes is reachable: an adversary can postpone decision forever.
+	Livelock bool
+}
+
+// checker carries exploration state.
+type checker struct {
+	opts    Options
+	visited map[string]uint8 // 1 = on stack (grey), 2 = done (black)
+	path    sim.Execution
+	rep     *Report
+}
+
+// Check explores all executions of proto from the given inputs.
+//
+// It stops at the first violation (recorded in the report) or when the
+// space or budget is exhausted.
+func Check(proto sim.Protocol, inputs []int64, opts Options) *Report {
+	rep := &Report{
+		Inputs:    append([]int64(nil), inputs...),
+		Decisions: make(map[int64]bool),
+		Complete:  true,
+	}
+	ch := &checker{
+		opts:    opts,
+		visited: make(map[string]uint8),
+		rep:     rep,
+	}
+	c := sim.NewConfig(proto, inputs)
+	ch.explore(c)
+	rep.Configs = len(ch.visited)
+	if rep.Violation != nil {
+		rep.Complete = false
+	}
+	return rep
+}
+
+// violationAt inspects a configuration for safety violations and records
+// the first one found, returning true if exploration should stop.
+func (ch *checker) violationAt(c *sim.Config) bool {
+	valid := make(map[int64]bool, len(c.Inputs))
+	for _, in := range c.Inputs {
+		valid[in] = true
+	}
+	firstPid, firstVal := -1, int64(0)
+	for pid, d := range c.Decided {
+		if !d {
+			// A halted process that never decided is stuck.
+			if c.Pending(pid).Kind == sim.ActHalt {
+				ch.record(Stuck, fmt.Sprintf("P%d halted without deciding", pid))
+				return true
+			}
+			continue
+		}
+		v := c.Decision[pid]
+		ch.rep.Decisions[v] = true
+		if !valid[v] {
+			ch.record(Validity, fmt.Sprintf("P%d decided %d, which is no process's input", pid, v))
+			return true
+		}
+		if firstPid == -1 {
+			firstPid, firstVal = pid, v
+		} else if v != firstVal {
+			ch.record(Consistency,
+				fmt.Sprintf("P%d decided %d but P%d decided %d", firstPid, firstVal, pid, v))
+			return true
+		}
+	}
+	return false
+}
+
+func (ch *checker) record(kind ViolationKind, detail string) {
+	trace := make(sim.Execution, len(ch.path))
+	copy(trace, ch.path)
+	ch.rep.Violation = &Violation{Kind: kind, Trace: trace, Detail: detail}
+}
+
+// explore performs a depth-first traversal of the configuration graph.
+// It returns true if exploration should stop (violation found or budget
+// exhausted).
+func (ch *checker) explore(c *sim.Config) bool {
+	key := c.Key()
+	switch ch.visited[key] {
+	case 1:
+		// Back edge: a cycle of live configurations.
+		ch.rep.Livelock = true
+		return false
+	case 2:
+		return false
+	}
+	if len(ch.visited) >= ch.opts.maxConfigs() {
+		ch.rep.Complete = false
+		return true
+	}
+	ch.visited[key] = 1
+	defer func() { ch.visited[key] = 2 }()
+
+	if ch.violationAt(c) {
+		return true
+	}
+
+	for pid := 0; pid < c.N(); pid++ {
+		a := c.Pending(pid)
+		switch a.Kind {
+		case sim.ActHalt:
+			continue
+		case sim.ActFlip:
+			for o := int64(0); o < a.Sides; o++ {
+				if ch.step(c, pid, o) {
+					return true
+				}
+			}
+		default:
+			if ch.step(c, pid, 0) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// step branches into the configuration reached by letting pid take its
+// pending step with the given flip outcome.
+func (ch *checker) step(c *sim.Config, pid int, outcome int64) bool {
+	next := c.Clone()
+	ev, err := next.Step(pid, outcome)
+	if err != nil {
+		// Unreachable for valid protocols; surface as a stuck violation.
+		ch.record(Stuck, fmt.Sprintf("P%d cannot step: %v", pid, err))
+		return true
+	}
+	ch.path = append(ch.path, ev)
+	stop := ch.explore(next)
+	// record copies the path at violation time, so unwinding is always safe.
+	ch.path = ch.path[:len(ch.path)-1]
+	return stop
+}
+
+// CheckAllInputs runs Check over every binary input vector for n processes
+// and returns the first report containing a violation, or the aggregate
+// clean report (Complete iff all runs were complete).
+func CheckAllInputs(proto sim.Protocol, n int, opts Options) *Report {
+	agg := &Report{Complete: true, Decisions: make(map[int64]bool)}
+	for bits := 0; bits < 1<<n; bits++ {
+		inputs := make([]int64, n)
+		for i := range inputs {
+			inputs[i] = int64((bits >> i) & 1)
+		}
+		rep := Check(proto, inputs, opts)
+		agg.Configs += rep.Configs
+		agg.Livelock = agg.Livelock || rep.Livelock
+		agg.Complete = agg.Complete && rep.Complete
+		for v := range rep.Decisions {
+			agg.Decisions[v] = true
+		}
+		if rep.Violation != nil {
+			rep.Configs = agg.Configs
+			return rep
+		}
+	}
+	return agg
+}

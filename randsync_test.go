@@ -1,0 +1,155 @@
+package randsync_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"randsync"
+	"randsync/internal/object"
+	"randsync/internal/protocol"
+)
+
+// TestPublicConsensusConstructors drives every public consensus
+// constructor through a concurrent round and checks agreement, validity
+// and the advertised space accounting.
+func TestPublicConsensusConstructors(t *testing.T) {
+	const n = 8
+	fa, err := randsync.NewFetchAddConsensus(n, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		c         randsync.Consensus
+		objects   int
+		registers int
+	}{
+		{randsync.NewRegisterConsensus(n, 5), 0, 3*n + 2},
+		{randsync.NewCounterConsensus(n, 5), 3, 0},
+		{fa, 1, 0},
+		{randsync.NewCASConsensus(), 1, 0},
+		{randsync.NewCompositionConsensus(n, 5), 0, 3 * n},
+	}
+	for _, tc := range cases {
+		if got := tc.c.Objects(); got != tc.objects {
+			t.Errorf("%s: objects = %d, want %d", tc.c.Name(), got, tc.objects)
+		}
+		if got := tc.c.Registers(); got != tc.registers {
+			t.Errorf("%s: registers = %d, want %d", tc.c.Name(), got, tc.registers)
+		}
+		decisions := make([]int64, n)
+		var wg sync.WaitGroup
+		for p := 0; p < n; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				decisions[p] = tc.c.Decide(p, int64(p%2))
+			}(p)
+		}
+		wg.Wait()
+		for p := 1; p < n; p++ {
+			if decisions[p] != decisions[0] {
+				t.Fatalf("%s: disagreement %v", tc.c.Name(), decisions)
+			}
+		}
+	}
+}
+
+func TestPublicBreakGeneral(t *testing.T) {
+	w, err := randsync.BreakGeneral(protocol.NewMixedFlood(2), randsync.BreakOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicBreakIdentical(t *testing.T) {
+	w, err := randsync.BreakIdentical(protocol.NewRegisterFlood(2), randsync.BreakOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.ProcessesUsed(); got > 4 {
+		t.Fatalf("witness uses %d processes, above r²−r+2 = 4", got)
+	}
+}
+
+func TestPublicCheckConsensus(t *testing.T) {
+	rep := randsync.CheckConsensus(protocol.CASConsensus{}, 3)
+	if rep.Violation != nil || !rep.Complete {
+		t.Fatalf("CAS consensus should check clean: %+v", rep)
+	}
+	bad := randsync.CheckConsensus(protocol.RegisterNaive2{}, 2)
+	if bad.Violation == nil {
+		t.Fatal("naive register protocol should violate consistency")
+	}
+}
+
+func TestPublicHistoryless(t *testing.T) {
+	if !randsync.Historyless(object.RegisterType{}) {
+		t.Error("register should be historyless")
+	}
+	if randsync.Historyless(object.FetchAddType{}) {
+		t.Error("fetch&add should not be historyless")
+	}
+}
+
+func TestPublicSharedObject(t *testing.T) {
+	obj, err := randsync.NewSharedObject(object.CounterType{}, 3, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < 3; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				if _, err := obj.Apply(p, object.Op{Kind: object.Inc}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	v, err := obj.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 12 {
+		t.Fatalf("counter = %d, want 12", v)
+	}
+}
+
+// ExampleNewRegisterConsensus shows the quickstart flow on the public API.
+func ExampleNewRegisterConsensus() {
+	const n = 4
+	c := randsync.NewRegisterConsensus(n, 42)
+	var wg sync.WaitGroup
+	decisions := make([]int64, n)
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			decisions[p] = c.Decide(p, int64(p%2))
+		}(p)
+	}
+	wg.Wait()
+	agreed := true
+	for _, d := range decisions {
+		if d != decisions[0] {
+			agreed = false
+		}
+	}
+	fmt.Println("agreed:", agreed, "registers:", c.Registers())
+	// Output: agreed: true registers: 14
+}
+
+// ExampleBreakGeneral shows the lower-bound adversary on the public API.
+func ExampleBreakGeneral() {
+	w, _ := randsync.BreakGeneral(protocol.NewSwapFlood(2), randsync.BreakOptions{})
+	fmt.Println("kind:", w.Kind, "both values decided:", len(w.Decisions) == 2)
+	// Output: kind: inconsistency both values decided: true
+}
