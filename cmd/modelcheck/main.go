@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"randsync/internal/protocol"
 	"randsync/internal/sim"
@@ -35,6 +36,7 @@ func run(args []string) error {
 	r := fs.Int("r", 2, "object count for flood protocols")
 	rounds := fs.Int64("rounds", 2, "round cap for register-consensus")
 	budget := fs.Int("budget", 1<<22, "configuration budget")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "parallel exploration workers (1 = serial)")
 	biv := fs.Bool("bivalence", false, "also run the bivalence analysis on mixed inputs")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -45,9 +47,9 @@ func run(args []string) error {
 		return err
 	}
 
-	fmt.Printf("model checking %s with n=%d over all schedules and coin outcomes...\n",
-		proto.Name(), *n)
-	rep := valency.CheckAllInputs(proto, *n, valency.Options{MaxConfigs: *budget})
+	fmt.Printf("model checking %s with n=%d over all schedules and coin outcomes (%d workers)...\n",
+		proto.Name(), *n, *workers)
+	rep := valency.CheckAllInputs(proto, *n, valency.Options{MaxConfigs: *budget, Workers: *workers})
 	switch {
 	case rep.Violation != nil:
 		fmt.Printf("VIOLATION (%v): %s\n", rep.Violation.Kind, rep.Violation.Detail)
@@ -60,6 +62,14 @@ func run(args []string) error {
 	}
 	if rep.Livelock {
 		fmt.Println("note: adversarial non-termination possible (expected for randomized protocols).")
+	}
+	if s := rep.Stats; s != nil {
+		hitRate := 0.0
+		if s.Generated > 0 {
+			hitRate = float64(s.DedupHits) / float64(s.Generated)
+		}
+		fmt.Printf("throughput: %.0f configs/s (%d workers, %v); dedup hit-rate %.1f%%, peak frontier %d, steals %d\n",
+			s.Rate(rep.Configs), s.Workers, s.Elapsed.Round(1e6), 100*hitRate, s.PeakFrontier, s.Steals)
 	}
 
 	if *biv {

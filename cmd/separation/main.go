@@ -4,11 +4,20 @@
 // instances), its historyless/interfering classification (verified by the
 // object algebra), and the randomized space complexity our implementations
 // realize, against the Ω(√n) lower bound for historyless types.
+//
+// Usage:
+//
+//	separation                      # check with GOMAXPROCS workers
+//	separation -workers 1           # serial reference engine
+//	separation -workers 8 -budget 4194304
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"randsync/internal/consensus"
 	"randsync/internal/object"
@@ -18,13 +27,29 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "separation:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// table threads the checker options through every verdict and tallies
+// aggregate throughput for the closing summary line.
+type table struct {
+	opts    valency.Options
+	configs int
+	elapsed time.Duration
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("separation", flag.ContinueOnError)
+	budget := fs.Int("budget", 1<<22, "configuration budget per check")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "parallel exploration workers (1 = serial)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tb := &table{opts: valency.Options{MaxConfigs: *budget, Workers: *workers}}
+
 	const n = 24 // example size for the space column
 
 	fmt.Println("Separation of synchronization primitives (paper §4), computed:")
@@ -37,13 +62,13 @@ func run() error {
 		detPower   string
 		randomized string
 	}{
-		{object.RegisterType{}, detRegisters(), fmt.Sprintf("O(n): %d registers at n=%d", consensus.NewRegisters(n, 1).Registers(), n)},
-		{object.SwapRegisterType{}, detTwoProcess(protocol.NewSwap2(), "swap"), "Ω(√n) (Theorem 3.7)"},
-		{object.TestAndSetType{}, detTwoProcess(protocol.NewTAS2(), "test&set"), "Ω(√n) (Theorem 3.7)"},
+		{object.RegisterType{}, tb.detRegisters(), fmt.Sprintf("O(n): %d registers at n=%d", consensus.NewRegisters(n, 1).Registers(), n)},
+		{object.SwapRegisterType{}, tb.detTwoProcess(protocol.NewSwap2(), "swap"), "Ω(√n) (Theorem 3.7)"},
+		{object.TestAndSetType{}, tb.detTwoProcess(protocol.NewTAS2(), "test&set"), "Ω(√n) (Theorem 3.7)"},
 		{object.CounterType{}, "< 2 (interfering; [20])", "3 counters (Thm 4.2 basis)"},
-		{object.FetchAddType{}, detTwoProcess(protocol.NewFetchAdd2(), "fetch&add"), "1 object (Theorem 4.4)"},
-		{object.FetchIncType{}, detTwoProcess(protocol.NewFetchInc2(), "fetch&inc"), "1 object ([8] route; see docs)"},
-		{object.CASType{}, detCAS(), "1 object (via Herlihy [20])"},
+		{object.FetchAddType{}, tb.detTwoProcess(protocol.NewFetchAdd2(), "fetch&add"), "1 object (Theorem 4.4)"},
+		{object.FetchIncType{}, tb.detTwoProcess(protocol.NewFetchInc2(), "fetch&inc"), "1 object ([8] route; see docs)"},
+		{object.CASType{}, tb.detCAS(), "1 object (via Herlihy [20])"},
 	}
 	for _, row := range rows {
 		fmt.Printf("%-14s %-12v %-12v %-26s %-22s\n",
@@ -56,21 +81,37 @@ func run() error {
 
 	fmt.Println()
 	fmt.Println("Checked facts behind the table:")
-	fmt.Printf("  - register-naive-2 (deterministic, registers only): %s\n", verdict(protocol.RegisterNaive2{}, 2))
+	fmt.Printf("  - register-naive-2 (deterministic, registers only): %s\n", tb.verdict(protocol.RegisterNaive2{}, 2))
 	fmt.Printf("  - tas-2 at n=2: %s;  at n=3: %s\n",
-		verdict(protocol.NewTAS2(), 2), verdict(protocol.NewTAS2(), 3))
-	fmt.Printf("  - cas at n=4: %s\n", verdict(protocol.CASConsensus{}, 4))
+		tb.verdict(protocol.NewTAS2(), 2), tb.verdict(protocol.NewTAS2(), 3))
+	fmt.Printf("  - cas at n=4: %s\n", tb.verdict(protocol.CASConsensus{}, 4))
 	fmt.Printf("  - counter-walk at n=3 (all schedules & coins): %s\n",
-		verdict(protocol.NewCounterWalk(3), 3))
-	fmt.Printf("  - packed-fetch&add at n=3: %s\n", verdict(protocol.NewPackedFetchAdd(3), 3))
+		tb.verdict(protocol.NewCounterWalk(3), 3))
+	fmt.Printf("  - packed-fetch&add at n=3: %s\n", tb.verdict(protocol.NewPackedFetchAdd(3), 3))
 	fmt.Printf("  - register-consensus at n=2 (rounds ≤ 3): %s\n",
-		verdict(protocol.NewRegisterConsensus(2, 3), 2))
+		tb.verdict(protocol.NewRegisterConsensus(2, 3), 2))
+
+	fmt.Println()
+	if tb.elapsed > 0 {
+		fmt.Printf("checker throughput: %d configurations in %v (%.0f configs/s, %d workers)\n",
+			tb.configs, tb.elapsed.Round(time.Millisecond),
+			float64(tb.configs)/tb.elapsed.Seconds(), *workers)
+	}
 	return nil
 }
 
+// check runs the exhaustive checker and tallies throughput.
+func (tb *table) check(p sim.Protocol, n int) *valency.Report {
+	start := time.Now()
+	rep := valency.CheckAllInputs(p, n, tb.opts)
+	tb.elapsed += time.Since(start)
+	tb.configs += rep.Configs
+	return rep
+}
+
 // verdict runs the exhaustive checker and renders its outcome.
-func verdict(p sim.Protocol, n int) string {
-	rep := valency.CheckAllInputs(p, n, valency.Options{MaxConfigs: 1 << 22})
+func (tb *table) verdict(p sim.Protocol, n int) string {
+	rep := tb.check(p, n)
 	switch {
 	case rep.Violation != nil:
 		return fmt.Sprintf("%v found (%d configs)", rep.Violation.Kind, rep.Configs)
@@ -82,8 +123,8 @@ func verdict(p sim.Protocol, n int) string {
 }
 
 // detRegisters summarizes the register row's deterministic power.
-func detRegisters() string {
-	rep := valency.CheckAllInputs(protocol.RegisterNaive2{}, 2, valency.Options{})
+func (tb *table) detRegisters() string {
+	rep := tb.check(protocol.RegisterNaive2{}, 2)
 	if rep.Violation != nil {
 		return "< 2 (violation exhibited)"
 	}
@@ -91,9 +132,9 @@ func detRegisters() string {
 }
 
 // detTwoProcess checks the 2-process protocol and the 3-process failure.
-func detTwoProcess(p sim.Protocol, name string) string {
-	ok2 := valency.CheckAllInputs(p, 2, valency.Options{}).Violation == nil
-	fail3 := valency.CheckAllInputs(p, 3, valency.Options{}).Violation != nil
+func (tb *table) detTwoProcess(p sim.Protocol, name string) string {
+	ok2 := tb.check(p, 2).Violation == nil
+	fail3 := tb.check(p, 3).Violation != nil
 	if ok2 && fail3 {
 		return "= 2 (verified)"
 	}
@@ -101,9 +142,9 @@ func detTwoProcess(p sim.Protocol, name string) string {
 }
 
 // detCAS checks CAS consensus at small n.
-func detCAS() string {
+func (tb *table) detCAS() string {
 	for _, n := range []int{2, 3, 4} {
-		if valency.CheckAllInputs(protocol.CASConsensus{}, n, valency.Options{}).Violation != nil {
+		if tb.check(protocol.CASConsensus{}, n).Violation != nil {
 			return "∞ expected (check failed!)"
 		}
 	}

@@ -1,0 +1,68 @@
+package explore
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Set is a lock-striped visited set: membership is keyed by the full
+// canonical encoding (so hash collisions can never merge distinct
+// configurations), while the caller-supplied 64-bit fingerprint selects
+// the stripe and doubles as the map pre-hash.  Each new key is assigned a
+// dense id in insertion order, which the valency engine uses to label
+// nodes of the successor graph for cycle detection.
+type Set struct {
+	shards []setShard
+	mask   uint64
+	next   atomic.Int64 // dense id allocator; Len() == next
+	hits   atomic.Int64 // Add calls that found the key already present
+}
+
+type setShard struct {
+	mu sync.Mutex
+	m  map[string]int64
+	_  [32]byte // avoid false sharing between adjacent shards
+}
+
+// NewSet returns a set with the given number of stripes, rounded up to a
+// power of two; shards < 1 selects the default of 64.
+func NewSet(shards int) *Set {
+	if shards < 1 {
+		shards = 64
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	s := &Set{shards: make([]setShard, n), mask: uint64(n - 1)}
+	for i := range s.shards {
+		s.shards[i].m = make(map[string]int64)
+	}
+	return s
+}
+
+// Add inserts key (with its fingerprint fp) if absent.  It returns the
+// key's dense id and whether this call inserted it.  fp must be a pure
+// function of key (equal keys, equal fingerprints) or the same key can
+// land in two stripes and be admitted twice; collisions between distinct
+// keys are safe.
+func (s *Set) Add(fp uint64, key string) (id int64, added bool) {
+	sh := &s.shards[fp&s.mask]
+	sh.mu.Lock()
+	if id, ok := sh.m[key]; ok {
+		sh.mu.Unlock()
+		s.hits.Add(1)
+		return id, false
+	}
+	id = s.next.Add(1) - 1
+	sh.m[key] = id
+	sh.mu.Unlock()
+	return id, true
+}
+
+// Len returns the number of distinct keys added.
+func (s *Set) Len() int { return int(s.next.Load()) }
+
+// DedupHits returns how many Add calls found their key already present —
+// the count of re-derived configurations the striped set deduplicated.
+func (s *Set) DedupHits() int64 { return s.hits.Load() }

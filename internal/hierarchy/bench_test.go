@@ -1,0 +1,42 @@
+package hierarchy
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"randsync/internal/object"
+)
+
+// benchWorkerCounts is the scaling ladder: 1, 2, 4, GOMAXPROCS.
+func benchWorkerCounts() []int {
+	counts := []int{1, 2, 4}
+	if max := runtime.GOMAXPROCS(0); max != 1 && max != 2 && max != 4 {
+		counts = append(counts, max)
+	}
+	return counts
+}
+
+// BenchmarkExploreParallel measures the protocol-space search (each of
+// the ~37k sticky-bit machines model checked for 2-process consensus)
+// across worker counts.  Per-machine checks are independent, so this
+// fans out near-linearly on real cores.
+func BenchmarkExploreParallel(b *testing.B) {
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var enumerated int
+			for i := 0; i < b.N; i++ {
+				res, err := SearchWith(object.StickyBitType{}, 2, Options{Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Solvers == 0 {
+					b.Fatal("sticky search must find solvers")
+				}
+				enumerated = res.Enumerated
+			}
+			b.ReportMetric(float64(enumerated), "machines")
+			b.ReportMetric(float64(enumerated)*float64(b.N)/b.Elapsed().Seconds(), "machines/s")
+		})
+	}
+}

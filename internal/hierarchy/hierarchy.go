@@ -20,7 +20,9 @@ package hierarchy
 
 import (
 	"fmt"
+	"runtime"
 
+	"randsync/internal/explore"
 	"randsync/internal/object"
 	"randsync/internal/sim"
 	"randsync/internal/valency"
@@ -185,19 +187,29 @@ type Result struct {
 	Example *Machine
 }
 
-// Search enumerates every machine with freeStates free states over one
-// object of type t and model checks each for 2-process consensus.
-//
-// The enumeration size is (|ops|·S^|resp|)^F · F², so keep freeStates at 2
-// for interactive use.
-func Search(t object.Type, freeStates int) (*Result, error) {
-	d, err := domainFor(t)
-	if err != nil {
-		return nil, err
-	}
-	states := freeStates + 2 // free + decide0 + decide1
+// Options configure a search.
+type Options struct {
+	// Workers fans the machine enumeration out across this many checker
+	// workers (each candidate machine is model checked independently, so
+	// the search parallelizes per machine).  0 or 1 is serial; any
+	// negative value means GOMAXPROCS.  The Result — including which
+	// Example is reported (the lowest-id solver) — is identical for
+	// every worker count.
+	Workers int
+}
 
-	// Enumerate the action specs available to one free state.
+func (o Options) workers() int {
+	if o.Workers < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if o.Workers == 0 {
+		return 1
+	}
+	return o.Workers
+}
+
+// buildSpecs enumerates the action specs available to one free state.
+func buildSpecs(d domain, states int) []actionSpec {
 	var specs []actionSpec
 	for i, op := range d.ops {
 		nResp := len(d.resps[i])
@@ -215,47 +227,113 @@ func Search(t object.Type, freeStates int) (*Result, error) {
 			specs = append(specs, actionSpec{op: op, next: next})
 		}
 	}
+	return specs
+}
 
-	res := &Result{}
-	var id uint64
+// enumerateSubtree visits every machine whose free-state assignment
+// extends prefix, in canonical enumeration order, with ids starting at
+// baseID+1.  The id of a machine is a pure function of its position in
+// the enumeration, so disjoint subtrees can be visited concurrently and
+// still agree with a serial full enumeration.
+func enumerateSubtree(t object.Type, specs []actionSpec, freeStates int,
+	prefix []actionSpec, baseID uint64, visit func(Machine)) {
 	assign := make([]actionSpec, freeStates)
-	var enumerate func(pos int) error
-	enumerate = func(pos int) error {
+	copy(assign, prefix)
+	id := baseID
+	var rec func(pos int)
+	rec = func(pos int) {
 		if pos == freeStates {
 			for s0 := 0; s0 < freeStates; s0++ {
 				for s1 := 0; s1 < freeStates; s1++ {
 					id++
-					m := Machine{
+					visit(Machine{
 						Type:   t,
 						Free:   append([]actionSpec(nil), assign...),
 						Start0: s0,
 						Start1: s1,
 						id:     id,
-					}
-					res.Enumerated++
-					if solves(m) {
-						res.Solvers++
-						if res.Example == nil {
-							ex := m
-							res.Example = &ex
-						}
-					}
+					})
 				}
 			}
-			return nil
+			return
 		}
 		for _, spec := range specs {
 			assign[pos] = spec
-			if err := enumerate(pos + 1); err != nil {
-				return err
-			}
+			rec(pos + 1)
 		}
-		return nil
 	}
-	if err := enumerate(0); err != nil {
+	rec(len(prefix))
+}
+
+// Search enumerates every machine with freeStates free states over one
+// object of type t and model checks each for 2-process consensus.
+//
+// The enumeration size is (|ops|·S^|resp|)^F · F², so keep freeStates at 2
+// for interactive serial use; SearchWith fans larger enumerations out
+// across workers.
+func Search(t object.Type, freeStates int) (*Result, error) {
+	return SearchWith(t, freeStates, Options{})
+}
+
+// SearchWith is Search with explicit Options.
+func SearchWith(t object.Type, freeStates int, opts Options) (*Result, error) {
+	d, err := domainFor(t)
+	if err != nil {
 		return nil, err
 	}
-	return res, nil
+	specs := buildSpecs(d, freeStates+2)
+	workers := opts.workers()
+
+	if workers <= 1 || freeStates < 1 {
+		res := &Result{}
+		enumerateSubtree(t, specs, freeStates, nil, 0, func(m Machine) {
+			res.Enumerated++
+			if solves(m) {
+				res.Solvers++
+				if res.Example == nil {
+					ex := m
+					res.Example = &ex
+				}
+			}
+		})
+		return res, nil
+	}
+
+	// Fan out over the spec assigned to free state 0: each subtree is an
+	// independent contiguous id range, checked by whichever worker steals
+	// it.  Per-worker tallies are merged afterwards; the reported Example
+	// is the lowest-id solver, which is exactly the serial first find.
+	perSub := uint64(freeStates * freeStates)
+	for k := 1; k < freeStates; k++ {
+		perSub *= uint64(len(specs))
+	}
+	results := make([]Result, workers)
+	roots := make([]int, len(specs))
+	for i := range roots {
+		roots[i] = i
+	}
+	explore.Run(workers, roots, func(i int, ctx *explore.Ctx[int]) {
+		res := &results[ctx.Worker()]
+		enumerateSubtree(t, specs, freeStates, specs[i:i+1], uint64(i)*perSub, func(m Machine) {
+			res.Enumerated++
+			if solves(m) {
+				res.Solvers++
+				if res.Example == nil || m.id < res.Example.id {
+					ex := m
+					res.Example = &ex
+				}
+			}
+		})
+	})
+	agg := &Result{}
+	for i := range results {
+		agg.Enumerated += results[i].Enumerated
+		agg.Solvers += results[i].Solvers
+		if ex := results[i].Example; ex != nil && (agg.Example == nil || ex.id < agg.Example.id) {
+			agg.Example = ex
+		}
+	}
+	return agg, nil
 }
 
 // solves reports whether the machine is a correct deterministic wait-free

@@ -64,6 +64,44 @@ func TestTASSearchFindsNothingAlone(t *testing.T) {
 	}
 }
 
+// TestSearchParallelMatchesSerial: the fanned-out search returns the
+// same Result as the serial enumeration for every worker count — same
+// counts and the same example machine (the lowest-id solver).
+func TestSearchParallelMatchesSerial(t *testing.T) {
+	for _, typ := range []object.Type{object.RegisterType{}, object.StickyBitType{}} {
+		serial, err := Search(typ, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 7} {
+			par, err := SearchWith(typ, 2, Options{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par.Enumerated != serial.Enumerated {
+				t.Errorf("%s workers=%d: enumerated %d, serial %d",
+					typ.Name(), workers, par.Enumerated, serial.Enumerated)
+			}
+			if par.Solvers != serial.Solvers {
+				t.Errorf("%s workers=%d: solvers %d, serial %d",
+					typ.Name(), workers, par.Solvers, serial.Solvers)
+			}
+			switch {
+			case (par.Example == nil) != (serial.Example == nil):
+				t.Errorf("%s workers=%d: example presence differs", typ.Name(), workers)
+			case par.Example != nil:
+				if par.Example.id != serial.Example.id {
+					t.Errorf("%s workers=%d: example id %d, serial %d",
+						typ.Name(), workers, par.Example.id, serial.Example.id)
+				}
+				if Describe(*par.Example) != Describe(*serial.Example) {
+					t.Errorf("%s workers=%d: example machines differ", typ.Name(), workers)
+				}
+			}
+		}
+	}
+}
+
 // TestMachineSemantics pins the machine encoding itself.
 func TestMachineSemantics(t *testing.T) {
 	// Hand-build the canonical sticky-bit solver: S0 sticks 1, S1 sticks

@@ -408,6 +408,32 @@ func (c *Config) Key() string {
 	return b.String()
 }
 
+// FNV-1a constants (hash/fnv's, inlined so fingerprinting a string needs
+// no []byte conversion or hasher allocation).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// FingerprintKey hashes an already-computed canonical Key with FNV-1a.
+// Callers holding the key string avoid re-encoding the configuration.
+func FingerprintKey(key string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// Fingerprint returns a 64-bit hash of the configuration's canonical
+// encoding: configurations with equal Keys always have equal
+// fingerprints, and structurally distinct configurations collide only
+// with hash probability.  Parallel exploration uses it to pick the
+// visited-set stripe for a configuration (membership itself is decided
+// on the full Key, so a collision can never merge two configurations).
+func (c *Config) Fingerprint() uint64 { return FingerprintKey(c.Key()) }
+
 // Validate checks that every operation any process is poised to perform is
 // supported by the target object type.  Protocol authors should call it in
 // tests; the adversary calls it before trusting a protocol.

@@ -1,10 +1,61 @@
 package valency
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"randsync/internal/protocol"
 )
+
+// benchWorkerCounts is the scaling ladder: 1, 2, 4, GOMAXPROCS.
+func benchWorkerCounts() []int {
+	counts := []int{1, 2, 4}
+	if max := runtime.GOMAXPROCS(0); max != 1 && max != 2 && max != 4 {
+		counts = append(counts, max)
+	}
+	return counts
+}
+
+// BenchmarkExploreParallel measures the parallel engine against the
+// serial baseline (workers=1) on the E11 workload: the three-counter
+// random-walk protocol at n=3, all schedules and coin outcomes over all
+// input vectors (~253k configurations).  On a multi-core box the
+// workers=GOMAXPROCS line should undercut workers=1 by ≥ 2×.
+func BenchmarkExploreParallel(b *testing.B) {
+	p := protocol.NewCounterWalk(3)
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var configs int
+			for i := 0; i < b.N; i++ {
+				rep := CheckAllInputs(p, 3, Options{Workers: w, MaxConfigs: 1 << 24})
+				if rep.Violation != nil || !rep.Complete {
+					b.Fatalf("E11 workload must verify cleanly: %+v", rep)
+				}
+				configs = rep.Configs
+			}
+			b.ReportMetric(float64(configs), "configs")
+			b.ReportMetric(float64(configs)*float64(b.N)/b.Elapsed().Seconds(), "configs/s")
+		})
+	}
+}
+
+// BenchmarkExploreParallelSingleVector isolates the configuration-level
+// engine (no vector fan-out): one mixed input vector of the register
+// protocol at n=2, 3 rounds.
+func BenchmarkExploreParallelSingleVector(b *testing.B) {
+	p := protocol.NewRegisterConsensus(2, 3)
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep := Check(p, []int64{0, 1}, Options{Workers: w, MaxConfigs: 1 << 24})
+				if rep.Violation != nil || !rep.Complete {
+					b.Fatalf("register-consensus must verify cleanly: %+v", rep)
+				}
+			}
+		})
+	}
+}
 
 // BenchmarkCheckCounterWalk measures exhaustive exploration throughput on
 // the three-counter protocol (the E4/E6 safety certificates).

@@ -1,0 +1,318 @@
+package valency
+
+import (
+	"sync/atomic"
+	"time"
+
+	"randsync/internal/explore"
+	"randsync/internal/sim"
+)
+
+// Stats describes the parallel engine's work for one Check; it is nil on
+// serial runs.  Stats are performance telemetry only and intentionally
+// excluded from verdict comparisons: two runs with different worker
+// counts produce the same Report fields but different Stats.
+type Stats struct {
+	// Workers is the number of exploration workers used.
+	Workers int
+	// Generated counts successor configurations computed (clone+step),
+	// including ones the visited set then deduplicated.
+	Generated int64
+	// DedupHits counts generated successors that were already visited.
+	DedupHits int64
+	// Steals counts work-stealing transfers between workers.
+	Steals int64
+	// PeakFrontier is the high-water mark of unexplored configurations.
+	PeakFrontier int64
+	// Elapsed is the wall-clock exploration time.
+	Elapsed time.Duration
+}
+
+// Rate returns configurations per second for the given visited count.
+func (s *Stats) Rate(configs int) float64 {
+	if s == nil || s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(configs) / s.Elapsed.Seconds()
+}
+
+// edge is one arc of the configuration graph, in dense visited-set ids.
+type edge struct{ from, to int64 }
+
+// pwork is the per-worker private state of a parallel exploration; it is
+// merged after the pool drains, so workers never contend on it.
+type pwork struct {
+	edges     []edge
+	decisions map[int64]bool
+	generated int64
+}
+
+// ptask is one frontier item: an unexplored configuration and its dense
+// visited-set id (the node label used for cycle detection).
+type ptask struct {
+	cfg *sim.Config
+	id  int64
+}
+
+// checkParallel explores the reachable configuration space of proto with
+// a worker pool over a sharded visited set.
+//
+// Determinism: a complete clean exploration visits exactly the reachable
+// key set, so Configs, Decisions and Livelock are schedule-independent.
+// If any worker sees a violation the parallel result is discarded and
+// the serial checker re-runs from scratch: its depth-first order is the
+// canonical trace order (lexicographic in scheduler choices), so the
+// reported first violation — kind, detail and trace — is identical to a
+// serial run's, regardless of worker count or timing.  Violating runs
+// stop early under both engines, so the re-run is cheap.
+func checkParallel(proto sim.Protocol, inputs []int64, opts Options) *Report {
+	workers := opts.workers()
+	budget := int64(opts.maxConfigs())
+
+	valid := make(map[int64]bool, len(inputs))
+	for _, in := range inputs {
+		valid[in] = true
+	}
+
+	set := explore.NewSet(workers * 8)
+	ws := make([]pwork, workers)
+	for i := range ws {
+		ws[i].decisions = make(map[int64]bool)
+	}
+	var violated, incomplete atomic.Bool
+
+	initial := sim.NewConfig(proto, inputs)
+	ikey := initial.Key()
+	iid, _ := set.Add(sim.FingerprintKey(ikey), ikey)
+
+	stats := explore.Run(workers, []ptask{{cfg: initial, id: iid}}, func(t ptask, ctx *explore.Ctx[ptask]) {
+		w := &ws[ctx.Worker()]
+		c := t.cfg
+		if unsafeConfig(c, valid, w.decisions) {
+			violated.Store(true)
+			ctx.Stop()
+			return
+		}
+		for pid := 0; pid < c.N(); pid++ {
+			a := c.Pending(pid)
+			if a.Kind == sim.ActHalt {
+				continue
+			}
+			outcomes := int64(1)
+			if a.Kind == sim.ActFlip {
+				outcomes = a.Sides
+			}
+			for o := int64(0); o < outcomes; o++ {
+				next := c.Clone()
+				if _, err := next.Step(pid, o); err != nil {
+					// Serial reports this as a Stuck violation; defer to it.
+					violated.Store(true)
+					ctx.Stop()
+					return
+				}
+				w.generated++
+				key := next.Key()
+				id, added := set.Add(sim.FingerprintKey(key), key)
+				w.edges = append(w.edges, edge{from: t.id, to: id})
+				if !added {
+					continue
+				}
+				if id >= budget {
+					incomplete.Store(true)
+					ctx.Stop()
+					return
+				}
+				ctx.Emit(ptask{cfg: next, id: id})
+			}
+		}
+	})
+
+	if violated.Load() {
+		return checkSerial(proto, inputs, opts)
+	}
+
+	rep := &Report{
+		Inputs:    append([]int64(nil), inputs...),
+		Decisions: make(map[int64]bool),
+		Complete:  !incomplete.Load(),
+		Configs:   set.Len(),
+	}
+	var edges []edge
+	var generated int64
+	for i := range ws {
+		edges = append(edges, ws[i].edges...)
+		generated += ws[i].generated
+		for v := range ws[i].decisions {
+			rep.Decisions[v] = true
+		}
+	}
+	rep.Livelock = hasCycle(set.Len(), edges)
+	rep.Stats = &Stats{
+		Workers:      workers,
+		Generated:    generated,
+		DedupHits:    set.DedupHits(),
+		Steals:       stats.Steals,
+		PeakFrontier: stats.PeakPending,
+		Elapsed:      stats.Elapsed,
+	}
+	return rep
+}
+
+// unsafeConfig mirrors the serial checker's per-configuration safety scan
+// (violationAt) without trace bookkeeping: it records reachable decisions
+// into dec and reports whether the configuration violates consistency or
+// validity, or contains a stuck process.
+func unsafeConfig(c *sim.Config, valid, dec map[int64]bool) bool {
+	firstPid, firstVal := -1, int64(0)
+	for pid, d := range c.Decided {
+		if !d {
+			if c.Pending(pid).Kind == sim.ActHalt {
+				return true // halted without deciding: stuck
+			}
+			continue
+		}
+		v := c.Decision[pid]
+		dec[v] = true
+		if !valid[v] {
+			return true // validity
+		}
+		if firstPid == -1 {
+			firstPid, firstVal = pid, v
+		} else if v != firstVal {
+			return true // consistency
+		}
+	}
+	return false
+}
+
+// hasCycle reports whether the configuration graph with n nodes and the
+// given arcs contains a cycle — the parallel counterpart of the serial
+// checker's grey/black back-edge detection, run as a post-pass over the
+// in-memory id graph (cheap next to exploration, which pays for cloning
+// and stepping configurations).
+func hasCycle(n int, edges []edge) bool {
+	if n == 0 || len(edges) == 0 {
+		return false
+	}
+	// Counting sort the arcs into compressed adjacency.
+	off := make([]int64, n+1)
+	for _, e := range edges {
+		off[e.from+1]++
+	}
+	for i := 0; i < n; i++ {
+		off[i+1] += off[i]
+	}
+	succ := make([]int64, len(edges))
+	fill := append([]int64(nil), off[:n]...)
+	for _, e := range edges {
+		succ[fill[e.from]] = e.to
+		fill[e.from]++
+	}
+
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make([]uint8, n)
+	type frame struct {
+		node int64
+		ei   int64
+	}
+	var stack []frame
+	for start := 0; start < n; start++ {
+		if color[start] != white {
+			continue
+		}
+		color[start] = grey
+		stack = append(stack[:0], frame{node: int64(start), ei: off[start]})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.ei < off[f.node+1] {
+				next := succ[f.ei]
+				f.ei++
+				switch color[next] {
+				case white:
+					color[next] = grey
+					stack = append(stack, frame{node: next, ei: off[next]})
+				case grey:
+					return true
+				}
+				continue
+			}
+			color[f.node] = black
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return false
+}
+
+// checkAllInputsParallel fans CheckAllInputs out across the pool.  With
+// enough input vectors to keep every worker busy it parallelizes at the
+// vector level (each vector explored by the canonical serial engine —
+// the per-vector reports are then byte-identical to serial ones); with
+// few vectors it runs them in sequence, each parallelized internally.
+// Either way the aggregate is assembled in canonical vector order, so
+// the returned report matches the serial loop's.
+func checkAllInputsParallel(proto sim.Protocol, n int, opts Options) *Report {
+	workers := opts.workers()
+	vecs := 1 << n
+	reports := make([]*Report, vecs)
+
+	var poolStats explore.Stats
+	if vecs >= 2*workers {
+		inner := opts
+		inner.Workers = 0
+		idx := make([]int, vecs)
+		for i := range idx {
+			idx[i] = i
+		}
+		poolStats = explore.Run(workers, idx, func(i int, _ *explore.Ctx[int]) {
+			reports[i] = checkSerial(proto, inputVector(i, n), inner)
+		})
+	} else {
+		for i := range reports {
+			reports[i] = checkParallel(proto, inputVector(i, n), opts)
+		}
+	}
+
+	agg := &Report{Complete: true, Decisions: make(map[int64]bool)}
+	aggStats := &Stats{
+		Workers:      workers,
+		Steals:       poolStats.Steals,
+		PeakFrontier: poolStats.PeakPending,
+		Elapsed:      poolStats.Elapsed,
+	}
+	for _, rep := range reports {
+		agg.Configs += rep.Configs
+		agg.Livelock = agg.Livelock || rep.Livelock
+		agg.Complete = agg.Complete && rep.Complete
+		for v := range rep.Decisions {
+			agg.Decisions[v] = true
+		}
+		if rep.Stats != nil {
+			aggStats.Generated += rep.Stats.Generated
+			aggStats.DedupHits += rep.Stats.DedupHits
+			aggStats.Steals += rep.Stats.Steals
+			aggStats.PeakFrontier += rep.Stats.PeakFrontier
+			aggStats.Elapsed += rep.Stats.Elapsed
+		}
+		if rep.Violation != nil {
+			rep.Configs = agg.Configs
+			return rep
+		}
+	}
+	agg.Stats = aggStats
+	return agg
+}
+
+// inputVector decodes vector index bits into per-process binary inputs —
+// the canonical enumeration order shared by the serial and parallel
+// CheckAllInputs loops.
+func inputVector(bits, n int) []int64 {
+	inputs := make([]int64, n)
+	for i := range inputs {
+		inputs[i] = int64((bits >> i) & 1)
+	}
+	return inputs
+}

@@ -20,6 +20,7 @@ package valency
 
 import (
 	"fmt"
+	"runtime"
 
 	"randsync/internal/sim"
 )
@@ -68,6 +69,12 @@ type Options struct {
 	// MaxConfigs caps the number of distinct configurations explored;
 	// beyond it the report is marked incomplete.  0 means 1<<20.
 	MaxConfigs int
+	// Workers sets the number of exploration workers.  0 or 1 selects
+	// the serial depth-first engine (the canonical reference); values
+	// above 1 select the parallel engine with that many workers; any
+	// negative value means GOMAXPROCS.  Parallel and serial runs return
+	// identical verdicts (see checkParallel).
+	Workers int
 }
 
 func (o Options) maxConfigs() int {
@@ -75,6 +82,16 @@ func (o Options) maxConfigs() int {
 		return 1 << 20
 	}
 	return o.MaxConfigs
+}
+
+func (o Options) workers() int {
+	if o.Workers < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if o.Workers == 0 {
+		return 1
+	}
+	return o.Workers
 }
 
 // Report is the result of exploring one input vector.
@@ -94,6 +111,10 @@ type Report struct {
 	// Livelock is true if some cycle of configurations with undecided
 	// processes is reachable: an adversary can postpone decision forever.
 	Livelock bool
+	// Stats carries the parallel engine's throughput counters; nil when
+	// the serial engine ran.  Performance telemetry only: it is excluded
+	// from verdict comparisons.
+	Stats *Stats
 }
 
 // checker carries exploration state.
@@ -107,8 +128,20 @@ type checker struct {
 // Check explores all executions of proto from the given inputs.
 //
 // It stops at the first violation (recorded in the report) or when the
-// space or budget is exhausted.
+// space or budget is exhausted.  With Options.Workers above 1 the
+// parallel engine explores the space concurrently; the returned verdict
+// is identical to a serial run's.
 func Check(proto sim.Protocol, inputs []int64, opts Options) *Report {
+	if opts.workers() > 1 {
+		return checkParallel(proto, inputs, opts)
+	}
+	return checkSerial(proto, inputs, opts)
+}
+
+// checkSerial is the canonical depth-first engine: its first violation
+// (in lexicographic scheduler-choice order) defines the deterministic
+// verdict the parallel engine reproduces.
+func checkSerial(proto sim.Protocol, inputs []int64, opts Options) *Report {
 	rep := &Report{
 		Inputs:    append([]int64(nil), inputs...),
 		Decisions: make(map[int64]bool),
@@ -231,15 +264,16 @@ func (ch *checker) step(c *sim.Config, pid int, outcome int64) bool {
 
 // CheckAllInputs runs Check over every binary input vector for n processes
 // and returns the first report containing a violation, or the aggregate
-// clean report (Complete iff all runs were complete).
+// clean report (Complete iff all runs were complete).  With
+// Options.Workers above 1 the input vectors themselves are fanned out
+// across the worker pool.
 func CheckAllInputs(proto sim.Protocol, n int, opts Options) *Report {
+	if opts.workers() > 1 {
+		return checkAllInputsParallel(proto, n, opts)
+	}
 	agg := &Report{Complete: true, Decisions: make(map[int64]bool)}
 	for bits := 0; bits < 1<<n; bits++ {
-		inputs := make([]int64, n)
-		for i := range inputs {
-			inputs[i] = int64((bits >> i) & 1)
-		}
-		rep := Check(proto, inputs, opts)
+		rep := checkSerial(proto, inputVector(bits, n), opts)
 		agg.Configs += rep.Configs
 		agg.Livelock = agg.Livelock || rep.Livelock
 		agg.Complete = agg.Complete && rep.Complete

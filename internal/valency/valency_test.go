@@ -52,6 +52,19 @@ func TestCASConsensusClean(t *testing.T) {
 	}
 }
 
+// TestCASConsensusCleanParallel extends the CAS certificate beyond the
+// serial test's n ≤ 4: the parallel engine checks n = 5 and n = 6 under
+// an explicit budget, fanning the 2^n input vectors out across workers.
+func TestCASConsensusCleanParallel(t *testing.T) {
+	for _, n := range []int{5, 6} {
+		rep := CheckAllInputs(protocol.CASConsensus{}, n, Options{Workers: -1, MaxConfigs: 1 << 22})
+		requireClean(t, rep, "cas-consensus")
+		if rep.Livelock {
+			t.Errorf("cas-consensus n=%d: deterministic wait-free protocol reported livelock", n)
+		}
+	}
+}
+
 func TestCASConsensusValidity(t *testing.T) {
 	// With unanimous inputs only that value may be decided.
 	for _, v := range []int64{0, 1} {

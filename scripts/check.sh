@@ -1,0 +1,15 @@
+#!/bin/sh
+# Tier-1 gate: vet, build, full test suite, then the race-detector pass.
+#
+# The race pass runs in -short mode: it exists to catch data races in the
+# parallel exploration engine and the live-world objects, and the deep
+# (multi-minute) certificates add nothing racy while multiplying the
+# ~10x race-detector slowdown.  Run `go test ./...` without -short for
+# the full certificates (included below, before the race pass).
+set -eu
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test ./...
+go test -race -short ./...
