@@ -2,10 +2,18 @@
 // prints the space/work table behind experiments E5–E8: object instances
 // used, registers used, wall time, and total shared-memory operations.
 //
+// With the chaos flags it becomes a fault-injection harness: every trial
+// runs under a seeded, replayable crash/stall schedule (package fault)
+// and the wait-freedom contract is certified on the survivors.  The
+// command exits non-zero if any trial violates agreement, validity or
+// wait-freedom, so chaos runs are scriptable in CI; every failure message
+// includes the reproducing seed.
+//
 // Usage:
 //
 //	consensus -n 32 -trials 20
 //	consensus -n 64 -trials 5 -protocols cas,packed-fetch&add
+//	consensus -n 16 -crash 4 -stall 2 -chaos-seed 7 -deadline 5s
 package main
 
 import (
@@ -18,6 +26,7 @@ import (
 	"time"
 
 	"randsync/internal/consensus"
+	"randsync/internal/fault"
 )
 
 func main() {
@@ -51,12 +60,28 @@ func allMakers() []maker {
 	}
 }
 
+// chaosConfig carries the fault-injection flags.
+type chaosConfig struct {
+	crashes  int
+	stalls   int
+	seed     uint64
+	deadline time.Duration
+}
+
+func (c chaosConfig) active() bool { return c.crashes > 0 || c.stalls > 0 }
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("consensus", flag.ContinueOnError)
 	n := fs.Int("n", 16, "number of processes")
 	trials := fs.Int("trials", 10, "trials per protocol")
 	seed := fs.Uint64("seed", 1, "base random seed")
 	protos := fs.String("protocols", "", "comma-separated subset (default: all)")
+	var chaos chaosConfig
+	fs.IntVar(&chaos.crashes, "crash", 0, "crash-stop this many processes per trial (chaos mode)")
+	fs.IntVar(&chaos.stalls, "stall", 0, "inject this many bounded stalls per trial (chaos mode)")
+	fs.Uint64Var(&chaos.seed, "chaos-seed", 1, "base seed for the fault schedules")
+	fs.DurationVar(&chaos.deadline, "deadline", fault.DefaultDeadline,
+		"wall-clock deadline per trial before the watchdog declares wait-freedom violated")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -79,12 +104,50 @@ func run(args []string) error {
 		selected = filtered
 	}
 
+	if chaos.active() {
+		fmt.Printf("n=%d processes, %d trials per protocol, chaos: %d crashes + %d stalls per trial (chaos-seed %d)\n\n",
+			*n, *trials, chaos.crashes, chaos.stalls, chaos.seed)
+		for _, m := range selected {
+			if err := runChaos(m, *n, *trials, *seed, chaos); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
 	fmt.Printf("n=%d processes, %d trials per protocol, mixed random inputs\n\n", *n, *trials)
 	fmt.Printf("%-24s %-8s %-10s %-12s %-14s %-10s\n",
 		"protocol", "objects", "registers", "ops/proc", "time/trial", "decided")
 	for _, m := range selected {
 		if err := runProtocol(m, *n, *trials, *seed); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// trialInputs derives a mixed random input vector for one trial.
+func trialInputs(n int, seed uint64, trial int) []int64 {
+	rng := rand.New(rand.NewPCG(seed, uint64(trial)))
+	inputs := make([]int64, n)
+	for i := range inputs {
+		inputs[i] = int64(rng.IntN(2))
+	}
+	return inputs
+}
+
+// checkTrial verifies agreement and validity of one fault-free trial.
+func checkTrial(name string, inputs, out []int64) error {
+	valid := map[int64]bool{}
+	for _, in := range inputs {
+		valid[in] = true
+	}
+	for proc, d := range out {
+		if d != out[0] {
+			return fmt.Errorf("%s: agreement violated: %v", name, out)
+		}
+		if !valid[d] {
+			return fmt.Errorf("%s: validity violated: P%d decided %d, inputs %v", name, proc, d, inputs)
 		}
 	}
 	return nil
@@ -101,11 +164,7 @@ func runProtocol(m maker, n, trials int, seed uint64) error {
 			return fmt.Errorf("%s: %w", m.name, err)
 		}
 		objects, registers = p.Objects(), p.Registers()
-		rng := rand.New(rand.NewPCG(seed, uint64(trial)))
-		inputs := make([]int64, n)
-		for i := range inputs {
-			inputs[i] = int64(rng.IntN(2))
-		}
+		inputs := trialInputs(n, seed, trial)
 		out := make([]int64, n)
 		start := time.Now()
 		var wg sync.WaitGroup
@@ -118,10 +177,8 @@ func runProtocol(m maker, n, trials int, seed uint64) error {
 		}
 		wg.Wait()
 		elapsed += time.Since(start)
-		for _, d := range out[1:] {
-			if d != out[0] {
-				return fmt.Errorf("%s: consistency violated: %v", m.name, out)
-			}
+		if err := checkTrial(m.name, inputs, out); err != nil {
+			return err
 		}
 		decisions[out[0]]++
 		totalOps += p.Ops()
@@ -130,5 +187,30 @@ func runProtocol(m maker, n, trials int, seed uint64) error {
 		m.name, objects, registers,
 		float64(totalOps)/float64(trials*n), elapsed/time.Duration(trials),
 		decisions[0], decisions[1])
+	return nil
+}
+
+// runChaos runs every trial of one protocol under a seeded fault schedule
+// and certifies wait-freedom on the survivors, printing the graceful-
+// degradation report.  The first violating trial is returned as an error
+// (non-zero exit) with its reproducing seed embedded.
+func runChaos(m maker, n, trials int, seed uint64, chaos chaosConfig) error {
+	fmt.Printf("%s\n", m.name)
+	for trial := 0; trial < trials; trial++ {
+		p, err := m.make(n, seed+uint64(trial))
+		if err != nil {
+			return fmt.Errorf("%s: %w", m.name, err)
+		}
+		planSeed := chaos.seed + uint64(trial)
+		plan := fault.RandomPlan(n, planSeed, fault.PlanOptions{
+			Crashes: chaos.crashes,
+			Stalls:  chaos.stalls,
+		})
+		rep := fault.Run(p, trialInputs(n, seed, trial), plan, fault.Options{Deadline: chaos.deadline})
+		fmt.Printf("  trial %-3d [%v]\n            %s\n", trial, plan, rep.Summary())
+		if !rep.Ok() {
+			return fmt.Errorf("%s: trial %d: %w", m.name, trial, rep.Violation)
+		}
+	}
 	return nil
 }

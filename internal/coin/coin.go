@@ -62,6 +62,37 @@ func (p CollectPosition) Add(proc int, delta int64) { p.C.Add(proc, delta) }
 // Read implements Position.
 func (p CollectPosition) Read(proc int) int64 { return p.C.Read() }
 
+// HookedPosition wraps a Position with an injection hook fired on the
+// calling process's goroutine before every Add and Read — the coin-layer
+// injection point used by package fault to crash, stall, or perturb a
+// walker between cursor operations.  A panic from Before aborts the
+// operation before it reaches the underlying position, so a crashed
+// walker's in-flight move is cleanly lost (crash-stop); the surviving
+// walkers drive the cursor to a barrier on their own, which is what makes
+// the weak shared coin wait-free.
+type HookedPosition struct {
+	Pos    Position
+	Before func(proc int)
+}
+
+var _ Position = HookedPosition{}
+
+// Add implements Position.
+func (p HookedPosition) Add(proc int, delta int64) {
+	if p.Before != nil {
+		p.Before(proc)
+	}
+	p.Pos.Add(proc, delta)
+}
+
+// Read implements Position.
+func (p HookedPosition) Read(proc int) int64 {
+	if p.Before != nil {
+		p.Before(proc)
+	}
+	return p.Pos.Read(proc)
+}
+
 // FetchAddPosition adapts a single fetch&add register (Theorem 4.4).
 type FetchAddPosition struct {
 	F *runtime.FetchAdd

@@ -47,6 +47,40 @@ type Protocol interface {
 	// Ops returns the total number of shared-object operations performed
 	// so far, for the work measurements (E5–E7).
 	Ops() int64
+	// SetStepHook installs f to be called on the deciding process's own
+	// goroutine at every shared-memory operation boundary inside Decide.
+	// It is the live world's injection point: package fault uses it to
+	// crash (panic out of Decide), stall, or perturb a process between
+	// operations, and to meter per-process step budgets for wait-freedom
+	// certification.  Install the hook before any Decide call; a nil f
+	// removes it.
+	SetStepHook(f func(proc int))
+}
+
+// meter is the shared work-accounting and fault-injection core embedded
+// in every live protocol: it counts shared-memory operations (Ops) and
+// fires the optional per-operation step hook (SetStepHook).
+type meter struct {
+	ops  atomic.Int64
+	hook func(proc int)
+}
+
+// Ops implements Protocol.
+func (m *meter) Ops() int64 { return m.ops.Load() }
+
+// SetStepHook implements Protocol.  The hook must be installed before
+// Decide calls begin (goroutine creation orders the write).
+func (m *meter) SetStepHook(f func(proc int)) { m.hook = f }
+
+// count records k shared-memory operations by proc and fires the step
+// hook once.  The hook may panic: count is only called at operation
+// boundaries, where no protocol or object lock is held, so unwinding out
+// of Decide leaves the shared objects consistent — a crash-stop.
+func (m *meter) count(proc int, k int64) {
+	m.ops.Add(k)
+	if m.hook != nil {
+		m.hook(proc)
+	}
 }
 
 // rngs builds one deterministic PCG generator per process.
@@ -60,8 +94,8 @@ func rngs(n int, seed uint64) []*rand.Rand {
 
 // CASConsensus is n-process consensus from a single compare&swap register.
 type CASConsensus struct {
+	meter
 	cas *runtime.CAS
-	ops atomic.Int64
 }
 
 const casEmpty = -1
@@ -80,12 +114,9 @@ func (c *CASConsensus) Objects() int { return 1 }
 // Registers implements Protocol.
 func (c *CASConsensus) Registers() int { return 0 }
 
-// Ops implements Protocol.
-func (c *CASConsensus) Ops() int64 { return c.ops.Load() }
-
 // Decide implements Protocol.
 func (c *CASConsensus) Decide(proc int, input int64) int64 {
-	c.ops.Add(1)
+	c.count(proc, 1)
 	if prev := c.cas.CompareAndSwap(proc, casEmpty, input); prev != casEmpty {
 		return prev
 	}
@@ -126,9 +157,9 @@ func (o fincOrdering) name() string       { return "fetch&inc-2" }
 // observation that any operation whose first response differs from its
 // second solves 2-process consensus.
 type TwoProcess struct {
+	meter
 	ord ordering
 	pub [2]*runtime.Register
-	ops atomic.Int64
 }
 
 // NewTAS2 returns 2-process consensus from one test&set register.
@@ -159,17 +190,15 @@ func (t *TwoProcess) Objects() int { return 1 }
 // Registers implements Protocol.
 func (t *TwoProcess) Registers() int { return 2 }
 
-// Ops implements Protocol.
-func (t *TwoProcess) Ops() int64 { return t.ops.Load() }
-
 // Decide implements Protocol; proc must be 0 or 1.
 func (t *TwoProcess) Decide(proc int, input int64) int64 {
-	t.ops.Add(2)
+	t.count(proc, 1)
 	t.pub[proc].Write(proc, input)
+	t.count(proc, 1)
 	if t.ord.fire(proc) {
 		return input
 	}
-	t.ops.Add(1)
+	t.count(proc, 1)
 	return t.pub[1-proc].Read(proc)
 }
 
@@ -192,32 +221,33 @@ var (
 // c0/c1, then move the cursor — deterministically in the drift zones
 // |k| ≥ n, by the announcement tallies while one side is absent, by fair
 // local flips otherwise — until it is absorbed at ±3n.
-func walk(proc int, input int64, n int64, c0, c1, cur counter, rng *rand.Rand, ops *atomic.Int64) int64 {
+func walk(proc int, input int64, n int64, c0, c1, cur counter, rng *rand.Rand, m *meter) int64 {
+	m.count(proc, 1)
 	if input == 1 {
 		c1.Inc(proc)
 	} else {
 		c0.Inc(proc)
 	}
-	ops.Add(1)
 	for {
+		m.count(proc, 1)
 		k := cur.Read(proc)
-		ops.Add(1)
 		switch {
 		case k >= 3*n:
 			return 1
 		case k <= -3*n:
 			return 0
 		case k >= n:
+			m.count(proc, 1)
 			cur.Inc(proc)
-			ops.Add(1)
 			continue
 		case k <= -n:
+			m.count(proc, 1)
 			cur.Dec(proc)
-			ops.Add(1)
 			continue
 		}
+		m.count(proc, 2)
 		a, b := c0.Read(proc), c1.Read(proc)
-		ops.Add(2)
+		m.count(proc, 1)
 		switch {
 		case b == 0:
 			cur.Dec(proc)
@@ -228,17 +258,16 @@ func walk(proc int, input int64, n int64, c0, c1, cur counter, rng *rand.Rand, o
 		default:
 			cur.Dec(proc)
 		}
-		ops.Add(1)
 	}
 }
 
 // CounterWalk is randomized n-process consensus from three counters
 // (Aspnes [7], Theorem 4.2's published basis).
 type CounterWalk struct {
+	meter
 	n           int64
 	c0, c1, cur counter
 	rng         []*rand.Rand
-	ops         atomic.Int64
 	objects     int
 	registers   int
 	nameStr     string
@@ -281,12 +310,9 @@ func (c *CounterWalk) Objects() int { return c.objects }
 // Registers implements Protocol.
 func (c *CounterWalk) Registers() int { return c.registers }
 
-// Ops implements Protocol.
-func (c *CounterWalk) Ops() int64 { return c.ops.Load() }
-
 // Decide implements Protocol.
 func (c *CounterWalk) Decide(proc int, input int64) int64 {
-	return walk(proc, input, c.n, c.c0, c.c1, c.cur, c.rng[proc], &c.ops)
+	return walk(proc, input, c.n, c.c0, c.c1, c.cur, c.rng[proc], &c.meter)
 }
 
 // Packed-field layout for the single fetch&add word; see the simulator
@@ -308,10 +334,10 @@ const (
 // into fields of one word, each fetch&add returning an atomic snapshot of
 // all three.
 type PackedFetchAdd struct {
+	meter
 	n   int64
 	f   *runtime.FetchAdd
 	rng []*rand.Rand
-	ops atomic.Int64
 }
 
 // NewPackedFetchAdd returns an instance for n ≤ MaxPackedN processes.
@@ -335,13 +361,10 @@ func (p *PackedFetchAdd) Objects() int { return 1 }
 // Registers implements Protocol.
 func (p *PackedFetchAdd) Registers() int { return 0 }
 
-// Ops implements Protocol.
-func (p *PackedFetchAdd) Ops() int64 { return p.ops.Load() }
-
 // Decide implements Protocol.
 func (p *PackedFetchAdd) Decide(proc int, input int64) int64 {
 	add := func(delta int64) int64 {
-		p.ops.Add(1)
+		p.count(proc, 1)
 		return p.f.FetchAdd(proc, delta)
 	}
 	if input == 1 {

@@ -2,7 +2,6 @@ package consensus
 
 import (
 	"math/rand/v2"
-	"sync/atomic"
 
 	"randsync/internal/runtime"
 )
@@ -29,6 +28,7 @@ import (
 // The implementation uses 3n+2 registers: A[n] + B[n] + coin[n] +
 // proposed[2].
 type Registers struct {
+	meter
 	n        int
 	a        []*runtime.Register
 	b        []*runtime.Register
@@ -36,7 +36,6 @@ type Registers struct {
 	proposed [2]*runtime.Register
 	rng      []*rand.Rand
 	barrier  int64
-	ops      atomic.Int64
 }
 
 var _ Protocol = (*Registers)(nil)
@@ -70,9 +69,6 @@ func (c *Registers) Objects() int { return 0 }
 // Registers implements Protocol.
 func (c *Registers) Registers() int { return 3*c.n + 2 }
 
-// Ops implements Protocol.
-func (c *Registers) Ops() int64 { return c.ops.Load() }
-
 // packA / packB mirror the simulator twin's layouts.
 func rcPackA(r, v int64) int64         { return r<<1 | v }
 func rcUnpackA(x int64) (int64, int64) { return x >> 1, x & 1 }
@@ -97,9 +93,10 @@ func unpackCoin(x int64) (r, delta int64) { return x >> 32, int64(int32(uint32(x
 // absorbing barriers at ±3n.
 func (c *Registers) sharedCoin(proc int, round int64) int64 {
 	var delta int64
+	c.count(proc, 1)
 	c.coins[proc].Write(proc, packCoin(round, 0))
-	c.ops.Add(1)
 	for {
+		c.count(proc, int64(c.n))
 		var sum int64
 		for j := 0; j < c.n; j++ {
 			r, d := unpackCoin(c.coins[j].Read(proc))
@@ -107,7 +104,6 @@ func (c *Registers) sharedCoin(proc int, round int64) int64 {
 				sum += d
 			}
 		}
-		c.ops.Add(int64(c.n))
 		switch {
 		case sum >= c.barrier:
 			return 1
@@ -119,8 +115,8 @@ func (c *Registers) sharedCoin(proc int, round int64) int64 {
 		} else {
 			delta--
 		}
+		c.count(proc, 1)
 		c.coins[proc].Write(proc, packCoin(round, delta))
-		c.ops.Add(1)
 	}
 }
 
@@ -129,17 +125,18 @@ func (c *Registers) Decide(proc int, input int64) int64 {
 	pref := input
 	for round := int64(1); ; round++ {
 		// Conciliator: mark, flip, maybe adopt.
+		c.count(proc, 1)
 		c.proposed[pref].Write(proc, round)
-		c.ops.Add(1)
 		coin := c.sharedCoin(proc, round)
+		c.count(proc, 1)
 		if c.proposed[coin].Read(proc) >= round {
 			pref = coin
 		}
-		c.ops.Add(1)
 
 		// Adopt-commit phase 1.
+		c.count(proc, 1)
 		c.a[proc].Write(proc, rcPackA(round, pref))
-		c.ops.Add(1)
+		c.count(proc, int64(c.n))
 		conflict := false
 		for j := 0; j < c.n; j++ {
 			r, v := rcUnpackA(c.a[j].Read(proc))
@@ -147,11 +144,11 @@ func (c *Registers) Decide(proc int, input int64) int64 {
 				conflict = true
 			}
 		}
-		c.ops.Add(int64(c.n))
 
 		// Adopt-commit phase 2.
+		c.count(proc, 1)
 		c.b[proc].Write(proc, rcPackB(round, !conflict, pref))
-		c.ops.Add(1)
+		c.count(proc, int64(c.n))
 		anyHigher, anyFalseR := false, false
 		trueVal := int64(-1)
 		for j := 0; j < c.n; j++ {
@@ -165,7 +162,6 @@ func (c *Registers) Decide(proc int, input int64) int64 {
 				trueVal = v
 			}
 		}
-		c.ops.Add(int64(c.n))
 
 		if !anyHigher && !anyFalseR {
 			return pref

@@ -1,0 +1,199 @@
+package fault
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRandomPlanDeterministic(t *testing.T) {
+	o := PlanOptions{Crashes: 2, Stalls: 2, Storms: 1, Freeze: true}
+	for seed := uint64(1); seed <= 16; seed++ {
+		a, b := RandomPlan(8, seed, o), RandomPlan(8, seed, o)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: plans differ:\n%v\n%v", seed, a, b)
+		}
+	}
+	if reflect.DeepEqual(RandomPlan(8, 1, o), RandomPlan(8, 2, o)) {
+		t.Fatal("different seeds produced identical plans")
+	}
+}
+
+func TestRandomPlanClampsCrashes(t *testing.T) {
+	p := RandomPlan(3, 7, PlanOptions{Crashes: 10})
+	crashed := p.Crashes()
+	if len(crashed) != 2 {
+		t.Fatalf("crashes not clamped to n-1: %v", p)
+	}
+	for _, e := range p.Events {
+		if e.Kind != Crash {
+			t.Fatalf("unexpected event %v in crash-only plan", e)
+		}
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	if got := SingleCrash(2, 7).String(); !strings.Contains(got, "crash P2@7") {
+		t.Errorf("SingleCrash string = %q", got)
+	}
+	if got := (Plan{Seed: 5}).String(); got != "seed=5: fault-free" {
+		t.Errorf("empty plan string = %q", got)
+	}
+}
+
+// point calls inj.Point and reports the recovered panic value, if any.
+func point(inj *Injector, proc int) (recovered any) {
+	defer func() { recovered = recover() }()
+	inj.Point(proc)
+	return nil
+}
+
+func TestInjectorCrashFires(t *testing.T) {
+	inj := NewInjector(2, SingleCrash(1, 2), 0)
+	for step := 0; step < 2; step++ {
+		if r := point(inj, 1); r != nil {
+			t.Fatalf("step %d: premature panic %v", step, r)
+		}
+	}
+	if r := point(inj, 1); !reflect.DeepEqual(r, crashSignal{proc: 1}) {
+		t.Fatalf("crash did not fire at op 2: recovered %v", r)
+	}
+	// The other process is untouched.
+	for step := 0; step < 10; step++ {
+		if r := point(inj, 0); r != nil {
+			t.Fatalf("uncrashed process panicked: %v", r)
+		}
+	}
+	if inj.Steps(0) != 10 {
+		t.Fatalf("Steps(0) = %d, want 10", inj.Steps(0))
+	}
+}
+
+func TestInjectorBudget(t *testing.T) {
+	inj := NewInjector(1, Plan{}, 3)
+	for step := 0; step < 3; step++ {
+		if r := point(inj, 0); r != nil {
+			t.Fatalf("step %d: premature panic %v", step, r)
+		}
+	}
+	r := point(inj, 0)
+	sig, ok := r.(budgetSignal)
+	if !ok || sig.proc != 0 {
+		t.Fatalf("budget exhaustion: recovered %v, want budgetSignal", r)
+	}
+}
+
+func TestInjectorAbort(t *testing.T) {
+	inj := NewInjector(2, Plan{}, 0)
+	inj.Abort()
+	for proc := 0; proc < 2; proc++ {
+		if _, ok := point(inj, proc).(crashSignal); !ok {
+			t.Fatalf("P%d did not crash after Abort", proc)
+		}
+	}
+}
+
+func TestInjectorFreezeReleases(t *testing.T) {
+	inj := NewInjector(2, Plan{Events: []Event{{Proc: 0, Kind: Freeze, AtOp: 0}}}, 0)
+	released := make(chan any, 1)
+	go func() { released <- point(inj, 0) }()
+	select {
+	case r := <-released:
+		t.Fatalf("freeze released before peers were done (recovered %v)", r)
+	case <-time.After(20 * time.Millisecond):
+	}
+	inj.MarkDone() // the sole peer decides
+	select {
+	case r := <-released:
+		if r != nil {
+			t.Fatalf("released freeze panicked: %v", r)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("freeze never released after all peers were done")
+	}
+}
+
+// fakeProto is a minimal consensus.Protocol for exercising the certifier
+// on deliberately broken behaviors.
+type fakeProto struct {
+	name   string
+	hook   func(proc int)
+	decide func(f *fakeProto, proc int, input int64) int64
+}
+
+func (f *fakeProto) Name() string                 { return f.name }
+func (f *fakeProto) Objects() int                 { return 0 }
+func (f *fakeProto) Registers() int               { return 0 }
+func (f *fakeProto) Ops() int64                   { return 0 }
+func (f *fakeProto) SetStepHook(h func(proc int)) { f.hook = h }
+
+func (f *fakeProto) step(proc int) {
+	if f.hook != nil {
+		f.hook(proc)
+	}
+}
+
+func (f *fakeProto) Decide(proc int, input int64) int64 { return f.decide(f, proc, input) }
+
+func TestBrokenAgreementCaught(t *testing.T) {
+	// Every process selfishly decides its own input.
+	p := &fakeProto{name: "selfish", decide: func(f *fakeProto, proc int, input int64) int64 {
+		f.step(proc)
+		return input
+	}}
+	rep := Run(p, []int64{0, 1}, Plan{Seed: 99}, Options{})
+	if rep.Ok() || rep.Violation.Kind != Agreement {
+		t.Fatalf("agreement violation not caught: %+v", rep.Violation)
+	}
+	if !strings.Contains(rep.Violation.Error(), "seed=99") {
+		t.Fatalf("violation message lacks reproducing seed: %v", rep.Violation)
+	}
+}
+
+func TestBrokenValidityCaught(t *testing.T) {
+	p := &fakeProto{name: "invent", decide: func(f *fakeProto, proc int, input int64) int64 {
+		f.step(proc)
+		return 7 // nobody's input
+	}}
+	rep := Run(p, []int64{0, 1}, Plan{}, Options{})
+	if rep.Ok() || rep.Violation.Kind != Validity {
+		t.Fatalf("validity violation not caught: %+v", rep.Violation)
+	}
+}
+
+func TestBudgetViolationCaught(t *testing.T) {
+	// A process that spins forever must blow its step budget, not hang.
+	p := &fakeProto{name: "spinner", decide: func(f *fakeProto, proc int, input int64) int64 {
+		for {
+			f.step(proc)
+		}
+	}}
+	rep := Run(p, []int64{0, 0}, Plan{}, Options{Budget: 100})
+	if rep.Ok() || rep.Violation.Kind != WaitFreedom {
+		t.Fatalf("budget violation not caught: %+v", rep.Violation)
+	}
+	if !strings.Contains(rep.Violation.Detail, "step budget") {
+		t.Fatalf("unexpected detail: %v", rep.Violation)
+	}
+}
+
+func TestDeadlineViolationCaught(t *testing.T) {
+	// A process that dawdles below its budget is reclaimed by the
+	// wall-clock watchdog and reported as a deadline violation.
+	p := &fakeProto{name: "dawdler", decide: func(f *fakeProto, proc int, input int64) int64 {
+		for {
+			f.step(proc)
+			time.Sleep(time.Millisecond)
+		}
+	}}
+	rep := Run(p, []int64{0, 0}, Plan{}, Options{Deadline: 50 * time.Millisecond})
+	if rep.Ok() || rep.Violation.Kind != Deadline {
+		t.Fatalf("deadline violation not caught: %+v", rep.Violation)
+	}
+	for proc, crashed := range rep.Crashed {
+		if !crashed {
+			t.Fatalf("P%d not reclaimed by the watchdog", proc)
+		}
+	}
+}

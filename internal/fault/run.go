@@ -1,0 +1,302 @@
+package fault
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"randsync/internal/consensus"
+)
+
+// Default watchdog limits.
+const (
+	// DefaultBudget is the per-process step budget: the number of
+	// shared-memory operations a surviving process may take before the
+	// certifier declares wait-freedom violated.  Generous — the expected
+	// per-process work of every protocol here is orders of magnitude
+	// smaller — but finite, so an injected livelock fails fast instead of
+	// hanging.
+	DefaultBudget = 1 << 20
+	// DefaultDeadline is the wall-clock deadline for one run.
+	DefaultDeadline = 10 * time.Second
+)
+
+// Options configure the Run driver's watchdog.
+type Options struct {
+	// Budget is the per-process step budget (0 means DefaultBudget).
+	Budget int64
+	// Deadline is the wall-clock deadline (0 means DefaultDeadline).
+	// When it expires the watchdog aborts the run: every process still
+	// running crash-stops at its next injection point, and the report
+	// carries a Deadline violation naming the plan.
+	Deadline time.Duration
+}
+
+func (o Options) budget() int64 {
+	if o.Budget <= 0 {
+		return DefaultBudget
+	}
+	return o.Budget
+}
+
+func (o Options) deadline() time.Duration {
+	if o.Deadline <= 0 {
+		return DefaultDeadline
+	}
+	return o.Deadline
+}
+
+// ViolationKind classifies a certification failure.
+type ViolationKind uint8
+
+const (
+	// Agreement: two surviving processes decided different values.
+	Agreement ViolationKind = iota
+	// Validity: a process decided a value that is no process's input.
+	Validity
+	// WaitFreedom: a surviving process exceeded its step budget without
+	// deciding.
+	WaitFreedom
+	// Deadline: the wall-clock deadline expired with surviving processes
+	// undecided.
+	Deadline
+)
+
+// String implements fmt.Stringer.
+func (k ViolationKind) String() string {
+	switch k {
+	case Agreement:
+		return "agreement"
+	case Validity:
+		return "validity"
+	case WaitFreedom:
+		return "wait-freedom"
+	case Deadline:
+		return "deadline"
+	}
+	return fmt.Sprintf("violationkind(%d)", uint8(k))
+}
+
+// Violation is a failed certification, carrying the reproducing plan.
+type Violation struct {
+	Kind   ViolationKind
+	Detail string
+	Plan   Plan
+}
+
+// Error implements error; the message embeds the plan (and so the seed),
+// making every failure replayable.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("%v violation under [%v]: %s", v.Kind, v.Plan, v.Detail)
+}
+
+// Report is the outcome of one injected run: per-process results, the
+// degradation telemetry, and the certification verdict.
+type Report struct {
+	// Protocol is the protocol's name.
+	Protocol string
+	// Plan is the fault schedule that was injected.
+	Plan Plan
+	// Inputs is the per-process input vector.
+	Inputs []int64
+	// Decided marks processes whose Decide returned.
+	Decided []bool
+	// Decision holds each decided process's value.
+	Decision []int64
+	// Crashed marks processes removed by crash-stop (injected or
+	// watchdog-aborted).
+	Crashed []bool
+	// Steps is the per-process count of shared-memory operations taken.
+	Steps []int64
+	// DecideTime is each decided process's time to decision.
+	DecideTime []time.Duration
+	// Elapsed is the whole run's wall-clock time.
+	Elapsed time.Duration
+	// Violation is the certification failure, or nil: the run certified.
+	Violation *Violation
+}
+
+// Ok reports whether the run certified: every surviving process decided a
+// common valid value within its step budget and the deadline.
+func (r *Report) Ok() bool { return r.Violation == nil }
+
+// Survivors returns the processes that were not crash-stopped.
+func (r *Report) Survivors() []int {
+	var s []int
+	for p, c := range r.Crashed {
+		if !c {
+			s = append(s, p)
+		}
+	}
+	return s
+}
+
+// OpsPerSurvivor returns the mean step count over surviving processes.
+func (r *Report) OpsPerSurvivor() float64 {
+	s := r.Survivors()
+	if len(s) == 0 {
+		return 0
+	}
+	var total int64
+	for _, p := range s {
+		total += r.Steps[p]
+	}
+	return float64(total) / float64(len(s))
+}
+
+// Summary renders the one-line graceful-degradation report the cmd tools
+// print: survivors, decisions, work and time-to-decision under faults.
+func (r *Report) Summary() string {
+	n := len(r.Inputs)
+	surv := r.Survivors()
+	decided := 0
+	var maxDecide time.Duration
+	counts := map[int64]int{}
+	for p := range r.Inputs {
+		if r.Decided[p] {
+			decided++
+			counts[r.Decision[p]]++
+			if r.DecideTime[p] > maxDecide {
+				maxDecide = r.DecideTime[p]
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d/%d survived, %d decided", len(surv), n, decided)
+	if decided > 0 {
+		fmt.Fprintf(&b, " (0:%d 1:%d)", counts[0], counts[1])
+	}
+	fmt.Fprintf(&b, ", %.1f ops/survivor, decision ≤ %v", r.OpsPerSurvivor(), maxDecide.Round(time.Microsecond))
+	if r.Violation != nil {
+		fmt.Fprintf(&b, " — VIOLATION: %v", r.Violation)
+	}
+	return b.String()
+}
+
+// Run executes one fresh protocol instance for the given inputs under the
+// plan's fault schedule and certifies the wait-freedom contract on the
+// survivors.  It installs the injector as p's step hook, so p must be a
+// fresh instance not shared with another run.
+//
+// Run always returns a complete report; Report.Violation (never an
+// unwound panic) carries any certification failure, with the plan's seed
+// in the message so the run reproduces.
+func Run(p consensus.Protocol, inputs []int64, plan Plan, opts Options) *Report {
+	n := len(inputs)
+	rep := &Report{
+		Protocol:   p.Name(),
+		Plan:       plan,
+		Inputs:     append([]int64(nil), inputs...),
+		Decided:    make([]bool, n),
+		Decision:   make([]int64, n),
+		Crashed:    make([]bool, n),
+		Steps:      make([]int64, n),
+		DecideTime: make([]time.Duration, n),
+	}
+	inj := NewInjector(n, plan, opts.budget())
+	p.SetStepHook(inj.Point)
+
+	budgetBlown := make([]bool, n)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for proc := 0; proc < n; proc++ {
+		wg.Add(1)
+		go func(proc int) {
+			defer wg.Done()
+			defer func() {
+				rep.Steps[proc] = inj.Steps(proc)
+				inj.MarkDone()
+				if r := recover(); r != nil {
+					switch r.(type) {
+					case crashSignal:
+						rep.Crashed[proc] = true
+					case budgetSignal:
+						budgetBlown[proc] = true
+					default:
+						panic(r)
+					}
+				}
+			}()
+			rep.Decision[proc] = p.Decide(proc, inputs[proc])
+			rep.DecideTime[proc] = time.Since(start)
+			rep.Decided[proc] = true
+		}(proc)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	deadlineHit := false
+	select {
+	case <-done:
+	case <-time.After(opts.deadline()):
+		deadlineHit = true
+		inj.Abort()
+		// Every process reaches an injection point within a bounded
+		// interval (a stall's sleep at most), panics, and exits; waiting
+		// here keeps the report race-free.
+		<-done
+	}
+	rep.Elapsed = time.Since(start)
+
+	rep.Violation = certify(rep, plan, budgetBlown, deadlineHit, inj)
+	return rep
+}
+
+// certify checks the wait-freedom contract over the finished run.
+func certify(rep *Report, plan Plan, budgetBlown []bool, deadlineHit bool, inj *Injector) *Violation {
+	fail := func(kind ViolationKind, format string, args ...any) *Violation {
+		return &Violation{Kind: kind, Plan: plan, Detail: fmt.Sprintf(format, args...)}
+	}
+	planCrashes := plan.Crashes()
+	if deadlineHit {
+		// Watchdog-aborted processes carry a crash mark without a
+		// scheduled crash; they are the stuck survivors.
+		var stuck []string
+		for p, d := range rep.Decided {
+			if !d && !budgetBlown[p] && !planCrashes[p] {
+				stuck = append(stuck, fmt.Sprintf("P%d (%d steps)", p, rep.Steps[p]))
+			}
+		}
+		return fail(Deadline, "%s: deadline expired with undecided survivors %s",
+			rep.Protocol, strings.Join(stuck, ", "))
+	}
+	for p, blown := range budgetBlown {
+		if blown {
+			return fail(WaitFreedom, "%s: P%d exceeded its step budget (%d > %d) without deciding",
+				rep.Protocol, p, rep.Steps[p], inj.budget)
+		}
+	}
+	for p, d := range rep.Decided {
+		if !d && !rep.Crashed[p] {
+			return fail(WaitFreedom, "%s: P%d neither decided nor crashed", rep.Protocol, p)
+		}
+		if rep.Crashed[p] && !planCrashes[p] {
+			// Only the plan's own crash events may remove a process; an
+			// unplanned crash here means the injector or driver is broken.
+			return fail(WaitFreedom, "%s: P%d crash-stopped without a scheduled crash", rep.Protocol, p)
+		}
+	}
+	valid := make(map[int64]bool, len(rep.Inputs))
+	for _, in := range rep.Inputs {
+		valid[in] = true
+	}
+	first := -1
+	for p, d := range rep.Decided {
+		if !d {
+			continue
+		}
+		v := rep.Decision[p]
+		if !valid[v] {
+			return fail(Validity, "%s: P%d decided %d, which is no process's input",
+				rep.Protocol, p, v)
+		}
+		if first == -1 {
+			first = p
+		} else if v != rep.Decision[first] {
+			return fail(Agreement, "%s: P%d decided %d but P%d decided %d",
+				rep.Protocol, first, rep.Decision[first], p, v)
+		}
+	}
+	return nil
+}

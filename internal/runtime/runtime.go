@@ -23,10 +23,21 @@ import (
 // recorded operations themselves.
 type Recorder struct {
 	clock atomic.Int64
+	hook  func(proc int, op object.Op)
 
 	mu  sync.Mutex
 	ops []RecordedOp
 }
+
+// SetHook installs f to be invoked, on the operating process's goroutine,
+// immediately before each recorded operation takes effect.  It is the
+// object-level fault-injection point: package fault uses it to stall,
+// yield, or crash (panic out of) a process between operations of any
+// recorded object.  A panic from f aborts the operation before it is
+// applied and before it enters the history, so recorded histories stay
+// linearizable — exactly crash-stop semantics.  Install the hook before
+// concurrent operations begin; a nil f removes it.
+func (r *Recorder) SetHook(f func(proc int, op object.Op)) { r.hook = f }
 
 // RecordedOp is one completed operation: its invocation and response
 // timestamps (from the recorder's logical clock), the operation performed,
@@ -46,6 +57,9 @@ type RecordedOp struct {
 func (r *Recorder) Record(proc int, op object.Op, fn func() int64) int64 {
 	if r == nil {
 		return fn()
+	}
+	if r.hook != nil {
+		r.hook(proc, op)
 	}
 	call := r.clock.Add(1)
 	resp := fn()

@@ -1,0 +1,131 @@
+package valency
+
+import (
+	"testing"
+
+	"randsync/internal/protocol"
+	"randsync/internal/sim"
+)
+
+// neverCrash returns an explicit schedule in which no process crashes —
+// it still exercises the crash-aware exploration keys.
+func neverCrash(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = -1
+	}
+	return s
+}
+
+// crashOne returns the schedule crashing only pid, after k steps.
+func crashOne(n, pid, k int) []int {
+	s := neverCrash(n)
+	s[pid] = k
+	return s
+}
+
+// TestRegisterConsensusSurvivorAgreementUnderCrash certifies the
+// Aspnes–Herlihy register protocol's survivors exhaustively: with one
+// process crash-stopped after each of a ladder of step counts, every
+// reachable execution keeps the surviving process deciding a valid value,
+// with any pre-crash decision of the victim agreeing.
+func TestRegisterConsensusSurvivorAgreementUnderCrash(t *testing.T) {
+	proto := protocol.NewRegisterConsensus(2, 3)
+	for pid := 0; pid < 2; pid++ {
+		for _, k := range []int{0, 1, 2, 4, 7} {
+			rep := CheckAllInputs(proto, 2, Options{Crash: crashOne(2, pid, k)})
+			requireClean(t, rep, "register-consensus/crash")
+		}
+	}
+}
+
+// TestWinnerLoserSurvivorAgreementUnderCrash does the same for the
+// two-process TAS and swap protocols, at n = 2 with either process
+// crashed, and at n = 3 — where the protocols are undefined for P2, whose
+// pc halts undecided — with P2 crashed outright, turning the otherwise
+// stuck third process into a legal fault.
+func TestWinnerLoserSurvivorAgreementUnderCrash(t *testing.T) {
+	for _, proto := range []sim.Protocol{protocol.NewTAS2(), protocol.NewSwap2()} {
+		for pid := 0; pid < 2; pid++ {
+			for _, k := range []int{0, 1, 2, 3} {
+				rep := CheckAllInputs(proto, 2, Options{Crash: crashOne(2, pid, k)})
+				requireClean(t, rep, proto.Name()+"/crash")
+			}
+		}
+		// n = 3: without the crash schedule P2 is a stuck survivor.
+		rep := CheckAllInputs(proto, 3, Options{Crash: crashOne(3, 2, 0)})
+		requireClean(t, rep, proto.Name()+"/crash-n3")
+	}
+}
+
+// TestCASConsensusSurvivorAgreementUnderCrash covers the n-process CAS and
+// sticky-bit protocols at n = 3 under every single-crash schedule.
+func TestCASConsensusSurvivorAgreementUnderCrash(t *testing.T) {
+	for _, proto := range []sim.Protocol{protocol.CASConsensus{}, protocol.StickyConsensus{}} {
+		for pid := 0; pid < 3; pid++ {
+			for _, k := range []int{0, 1, 2} {
+				rep := CheckAllInputs(proto, 3, Options{Crash: crashOne(3, pid, k)})
+				requireClean(t, rep, proto.Name()+"/crash")
+			}
+		}
+	}
+}
+
+// TestSoloTerminationUnderCrashes is the paper's nondeterministic solo
+// termination hypothesis (§2) as an exhaustive certificate: with every
+// process but one removed before its first step, the survivor decides its
+// own input in every reachable execution.
+func TestSoloTerminationUnderCrashes(t *testing.T) {
+	for solo := 0; solo < 3; solo++ {
+		sched := make([]int, 3) // all crash at step 0...
+		sched[solo] = -1        // ...except the solo survivor
+		rep := Check(protocol.CASConsensus{}, []int64{0, 1, 1}, Options{Crash: sched})
+		requireClean(t, rep, "cas-consensus/solo")
+		want := []int64{0, 1, 1}[solo]
+		if len(rep.Decisions) != 1 || !rep.Decisions[want] {
+			t.Fatalf("solo P%d: decisions %v, want only its own input %d", solo, rep.Decisions, want)
+		}
+	}
+}
+
+// TestCrashScheduleParallelSerialAgree certifies that the parallel engine
+// reaches the same verdict as the canonical serial one under crash
+// schedules: same clean/violating outcome, decision set, and completeness.
+func TestCrashScheduleParallelSerialAgree(t *testing.T) {
+	protos := []sim.Protocol{
+		protocol.NewRegisterConsensus(2, 3),
+		protocol.NewTAS2(),
+		protocol.CASConsensus{},
+	}
+	for _, proto := range protos {
+		for pid := 0; pid < 2; pid++ {
+			for _, k := range []int{0, 2} {
+				opts := Options{Crash: crashOne(2, pid, k)}
+				serial := CheckAllInputs(proto, 2, opts)
+				opts.Workers = -1
+				par := CheckAllInputs(proto, 2, opts)
+				if (serial.Violation == nil) != (par.Violation == nil) ||
+					serial.Complete != par.Complete ||
+					serial.Livelock != par.Livelock ||
+					len(serial.Decisions) != len(par.Decisions) {
+					t.Fatalf("%s crash P%d@%d: engines disagree: serial=%+v parallel=%+v",
+						proto.Name(), pid, k, serial, par)
+				}
+				for v := range serial.Decisions {
+					if !par.Decisions[v] {
+						t.Fatalf("%s crash P%d@%d: parallel missed decision %d", proto.Name(), pid, k, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBrokenProtocolStillCaughtUnderCrashSchedule keeps the checker's
+// teeth sharp with the crash machinery active: the naive register protocol
+// is inconsistent whether or not a (never-reached) crash schedule is
+// installed, and the never-crash schedule must not mask the violation.
+func TestBrokenProtocolStillCaughtUnderCrashSchedule(t *testing.T) {
+	rep := Check(protocol.RegisterNaive2{}, []int64{0, 1}, Options{Crash: neverCrash(2)})
+	requireViolation(t, rep, Consistency, protocol.RegisterNaive2{})
+}

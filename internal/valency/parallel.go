@@ -82,18 +82,21 @@ func checkParallel(proto sim.Protocol, inputs []int64, opts Options) *Report {
 	var violated, incomplete atomic.Bool
 
 	initial := sim.NewConfig(proto, inputs)
-	ikey := initial.Key()
+	ikey := opts.exploreKey(initial)
 	iid, _ := set.Add(sim.FingerprintKey(ikey), ikey)
 
 	stats := explore.Run(workers, []ptask{{cfg: initial, id: iid}}, func(t ptask, ctx *explore.Ctx[ptask]) {
 		w := &ws[ctx.Worker()]
 		c := t.cfg
-		if unsafeConfig(c, valid, w.decisions) {
+		if unsafeConfig(c, opts, valid, w.decisions) {
 			violated.Store(true)
 			ctx.Stop()
 			return
 		}
 		for pid := 0; pid < c.N(); pid++ {
+			if opts.Crashed(c, pid) {
+				continue // crash-stop: never scheduled again
+			}
 			a := c.Pending(pid)
 			if a.Kind == sim.ActHalt {
 				continue
@@ -111,7 +114,7 @@ func checkParallel(proto sim.Protocol, inputs []int64, opts Options) *Report {
 					return
 				}
 				w.generated++
-				key := next.Key()
+				key := opts.exploreKey(next)
 				id, added := set.Add(sim.FingerprintKey(key), key)
 				w.edges = append(w.edges, edge{from: t.id, to: id})
 				if !added {
@@ -161,13 +164,13 @@ func checkParallel(proto sim.Protocol, inputs []int64, opts Options) *Report {
 // unsafeConfig mirrors the serial checker's per-configuration safety scan
 // (violationAt) without trace bookkeeping: it records reachable decisions
 // into dec and reports whether the configuration violates consistency or
-// validity, or contains a stuck process.
-func unsafeConfig(c *sim.Config, valid, dec map[int64]bool) bool {
+// validity, or contains a stuck surviving process.
+func unsafeConfig(c *sim.Config, opts Options, valid, dec map[int64]bool) bool {
 	firstPid, firstVal := -1, int64(0)
 	for pid, d := range c.Decided {
 		if !d {
-			if c.Pending(pid).Kind == sim.ActHalt {
-				return true // halted without deciding: stuck
+			if c.Pending(pid).Kind == sim.ActHalt && !opts.Crashed(c, pid) {
+				return true // a survivor halted without deciding: stuck
 			}
 			continue
 		}

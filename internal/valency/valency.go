@@ -16,11 +16,19 @@
 // For the small instances used in tests the reachable configuration space
 // is finite, so a clean report is an exhaustive safety certificate: no
 // schedule and no sequence of coin outcomes can produce disagreement.
+//
+// Options.Crash adds explicit crash-stop schedules — the simulator
+// world's mirror of package fault — under which a clean report further
+// certifies survivor-consistency: no crash pattern in the schedule, no
+// interleaving and no coin outcome lets the surviving processes disagree
+// or halt undecided.
 package valency
 
 import (
 	"fmt"
 	"runtime"
+	"strconv"
+	"strings"
 
 	"randsync/internal/sim"
 )
@@ -75,6 +83,16 @@ type Options struct {
 	// negative value means GOMAXPROCS.  Parallel and serial runs return
 	// identical verdicts (see checkParallel).
 	Workers int
+	// Crash is an explicit crash schedule, the simulator world's
+	// mirror of package fault's crash-stop injection: Crash[pid] = k
+	// means process pid crash-stops after taking k steps — it is never
+	// scheduled again, and the checker certifies the survivors instead:
+	// no surviving process halts undecided, and all decided values
+	// (including any decided before a crash) agree and are valid.  A
+	// negative entry, or a pid at or beyond len(Crash), never crashes.
+	// Crash[pid] = 0 removes pid outright, so an all-but-one schedule of
+	// zeros certifies solo termination under crashes exhaustively.
+	Crash []int
 }
 
 func (o Options) maxConfigs() int {
@@ -92,6 +110,37 @@ func (o Options) workers() int {
 		return 1
 	}
 	return o.Workers
+}
+
+// Crashed reports whether pid has crash-stopped in c under the options'
+// crash schedule.
+func (o Options) Crashed(c *sim.Config, pid int) bool {
+	return pid < len(o.Crash) && o.Crash[pid] >= 0 && c.Steps[pid] >= o.Crash[pid]
+}
+
+// exploreKey returns the visited-set key for c.  Config.Key ignores step
+// counts, but under a crash schedule a process's remaining steps to
+// crash determine its future behavior, so the key is extended with each
+// scheduled process's remaining allowance (clamped at 0: crashed is
+// crashed, however far past the limit).
+func (o Options) exploreKey(c *sim.Config) string {
+	if len(o.Crash) == 0 {
+		return c.Key()
+	}
+	var b strings.Builder
+	b.WriteString(c.Key())
+	b.WriteString("!c")
+	for pid, lim := range o.Crash {
+		rem := -1
+		if lim >= 0 {
+			if rem = lim - c.Steps[pid]; rem < 0 {
+				rem = 0
+			}
+		}
+		b.WriteString(strconv.Itoa(rem))
+		b.WriteByte(',')
+	}
+	return b.String()
 }
 
 // Report is the result of exploring one input vector.
@@ -171,8 +220,9 @@ func (ch *checker) violationAt(c *sim.Config) bool {
 	firstPid, firstVal := -1, int64(0)
 	for pid, d := range c.Decided {
 		if !d {
-			// A halted process that never decided is stuck.
-			if c.Pending(pid).Kind == sim.ActHalt {
+			// A surviving halted process that never decided is stuck; a
+			// crashed process is permitted to die undecided.
+			if c.Pending(pid).Kind == sim.ActHalt && !ch.opts.Crashed(c, pid) {
 				ch.record(Stuck, fmt.Sprintf("P%d halted without deciding", pid))
 				return true
 			}
@@ -205,7 +255,7 @@ func (ch *checker) record(kind ViolationKind, detail string) {
 // It returns true if exploration should stop (violation found or budget
 // exhausted).
 func (ch *checker) explore(c *sim.Config) bool {
-	key := c.Key()
+	key := ch.opts.exploreKey(c)
 	switch ch.visited[key] {
 	case 1:
 		// Back edge: a cycle of live configurations.
@@ -226,6 +276,9 @@ func (ch *checker) explore(c *sim.Config) bool {
 	}
 
 	for pid := 0; pid < c.N(); pid++ {
+		if ch.opts.Crashed(c, pid) {
+			continue // crash-stop: never scheduled again
+		}
 		a := c.Pending(pid)
 		switch a.Kind {
 		case sim.ActHalt:

@@ -6,10 +6,24 @@
 # (multi-minute) certificates add nothing racy while multiplying the
 # ~10x race-detector slowdown.  Run `go test ./...` without -short for
 # the full certificates (included below, before the race pass).
+#
+# Every test invocation carries an explicit -timeout so a wedged run (a
+# deadlocked live protocol, a runaway exploration) fails the gate with a
+# goroutine dump instead of hanging CI, and each stage is named on exit
+# so a red gate says which rung broke.
 set -eu
 cd "$(dirname "$0")/.."
 
+stage="startup"
+trap 'status=$?; if [ "$status" -ne 0 ]; then echo "check.sh: FAILED at stage: $stage" >&2; fi' EXIT
+
+stage="go vet"
 go vet ./...
+stage="go build"
 go build ./...
-go test ./...
-go test -race -short ./...
+stage="go test (full suite)"
+go test -timeout 20m ./...
+stage="go test -race -short"
+go test -race -short -timeout 10m ./...
+stage="done"
+echo "check.sh: all stages passed"
