@@ -38,6 +38,8 @@ func run(args []string) error {
 	budget := fs.Int("budget", 1<<22, "configuration budget")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "parallel exploration workers (1 = serial)")
 	biv := fs.Bool("bivalence", false, "also run the bivalence analysis on mixed inputs")
+	nosym := fs.Bool("nosym", false, "disable identical-process symmetry reduction")
+	legacy := fs.Bool("legacy", false, "use the legacy string-key engine (baseline; implies -nosym)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -49,7 +51,9 @@ func run(args []string) error {
 
 	fmt.Printf("model checking %s with n=%d over all schedules and coin outcomes (%d workers)...\n",
 		proto.Name(), *n, *workers)
-	rep := valency.CheckAllInputs(proto, *n, valency.Options{MaxConfigs: *budget, Workers: *workers})
+	rep := valency.CheckAllInputs(proto, *n, valency.Options{
+		MaxConfigs: *budget, Workers: *workers, NoSymmetry: *nosym, LegacyKeys: *legacy,
+	})
 	switch {
 	case rep.Violation != nil:
 		fmt.Printf("VIOLATION (%v): %s\n", rep.Violation.Kind, rep.Violation.Detail)
@@ -68,8 +72,8 @@ func run(args []string) error {
 		if s.Generated > 0 {
 			hitRate = float64(s.DedupHits) / float64(s.Generated)
 		}
-		fmt.Printf("throughput: %.0f configs/s (%d workers, %v); dedup hit-rate %.1f%%, peak frontier %d, steals %d\n",
-			s.Rate(rep.Configs), s.Workers, s.Elapsed.Round(1e6), 100*hitRate, s.PeakFrontier, s.Steals)
+		fmt.Printf("throughput: %.0f configs/s (%d workers, %v); dedup hit-rate %.1f%%, peak frontier %d, steals %d, key bytes retained %d\n",
+			s.Rate(rep.Configs), s.Workers, s.Elapsed.Round(1e6), 100*hitRate, s.PeakFrontier, s.Steals, s.KeyBytes)
 	}
 
 	if *biv {

@@ -36,9 +36,10 @@ func main() {
 // table threads the checker options through every verdict and tallies
 // aggregate throughput for the closing summary line.
 type table struct {
-	opts    valency.Options
-	configs int
-	elapsed time.Duration
+	opts     valency.Options
+	configs  int
+	keyBytes int64
+	elapsed  time.Duration
 }
 
 func run(args []string) error {
@@ -93,9 +94,9 @@ func run(args []string) error {
 
 	fmt.Println()
 	if tb.elapsed > 0 {
-		fmt.Printf("checker throughput: %d configurations in %v (%.0f configs/s, %d workers)\n",
+		fmt.Printf("checker throughput: %d configurations in %v (%.0f configs/s, %d workers, %d key bytes retained)\n",
 			tb.configs, tb.elapsed.Round(time.Millisecond),
-			float64(tb.configs)/tb.elapsed.Seconds(), *workers)
+			float64(tb.configs)/tb.elapsed.Seconds(), *workers, tb.keyBytes)
 	}
 	return nil
 }
@@ -106,6 +107,9 @@ func (tb *table) check(p sim.Protocol, n int) *valency.Report {
 	rep := valency.CheckAllInputs(p, n, tb.opts)
 	tb.elapsed += time.Since(start)
 	tb.configs += rep.Configs
+	if rep.Stats != nil {
+		tb.keyBytes += rep.Stats.KeyBytes
+	}
 	return rep
 }
 

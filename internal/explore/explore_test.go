@@ -111,7 +111,7 @@ func TestSetAddDedup(t *testing.T) {
 	ids := make(map[int64]bool)
 	for i := 0; i < 100; i++ {
 		key := fmt.Sprintf("k%d", i)
-		id, added := s.Add(uint64(i)*2654435761, key)
+		id, added := s.AddString(uint64(i)*2654435761, key)
 		if !added {
 			t.Fatalf("fresh key %q reported as duplicate", key)
 		}
@@ -125,7 +125,7 @@ func TestSetAddDedup(t *testing.T) {
 	}
 	for i := 0; i < 100; i++ {
 		key := fmt.Sprintf("k%d", i)
-		if _, added := s.Add(uint64(i)*2654435761, key); added {
+		if _, added := s.AddString(uint64(i)*2654435761, key); added {
 			t.Fatalf("key %q re-admitted", key)
 		}
 	}
@@ -154,7 +154,7 @@ func TestSetConcurrentAdd(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < keys; i++ {
-				if _, ok := s.Add(uint64(i%7), fmt.Sprintf("key-%d", i)); ok {
+				if _, ok := s.AddString(uint64(i%7), fmt.Sprintf("key-%d", i)); ok {
 					added.Add(1)
 				}
 			}
@@ -172,6 +172,95 @@ func TestSetConcurrentAdd(t *testing.T) {
 	}
 }
 
+// TestSetFingerprintCollision: distinct keys sharing one fingerprint must
+// both be admitted (full-key confirmation, not fingerprint trust), get
+// distinct ids, and dedup correctly on re-insertion.
+func TestSetFingerprintCollision(t *testing.T) {
+	s := NewSet(2)
+	const fp = uint64(42)
+	keys := []string{"alpha", "beta", "gamma", "delta"}
+	ids := make(map[string]int64)
+	for _, k := range keys {
+		id, added := s.Add(fp, []byte(k))
+		if !added {
+			t.Fatalf("colliding key %q rejected as duplicate", k)
+		}
+		ids[k] = id
+	}
+	if s.Len() != len(keys) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(keys))
+	}
+	seen := make(map[int64]bool)
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate id %d across colliding keys", id)
+		}
+		seen[id] = true
+	}
+	for _, k := range keys {
+		id, added := s.Add(fp, []byte(k))
+		if added {
+			t.Fatalf("colliding key %q re-admitted", k)
+		}
+		if id != ids[k] {
+			t.Fatalf("key %q: id %d on re-add, want %d", k, id, ids[k])
+		}
+	}
+	if s.DedupHits() != int64(len(keys)) {
+		t.Fatalf("DedupHits = %d, want %d", s.DedupHits(), len(keys))
+	}
+	var want int64
+	for _, k := range keys {
+		want += int64(len(k))
+	}
+	if got := s.Bytes(); got != want {
+		t.Fatalf("Bytes = %d, want %d", got, want)
+	}
+}
+
+// TestSetScratchReuse: Add must not retain the caller's buffer — mutating
+// the scratch slice after insertion must not corrupt the interned key.
+func TestSetScratchReuse(t *testing.T) {
+	s := NewSet(1)
+	buf := make([]byte, 0, 32)
+	buf = append(buf[:0], "first"...)
+	if _, added := s.Add(1, buf); !added {
+		t.Fatal("fresh key rejected")
+	}
+	buf = append(buf[:0], "second"...) // clobber the scratch
+	if _, added := s.Add(2, buf); !added {
+		t.Fatal("second fresh key rejected")
+	}
+	buf = append(buf[:0], "first"...)
+	if _, added := s.Add(1, buf); added {
+		t.Fatal("interned key corrupted by scratch reuse: 'first' re-admitted")
+	}
+	if _, added := s.AddString(2, "second"); added {
+		t.Fatal("interned key corrupted by scratch reuse: 'second' re-admitted")
+	}
+}
+
+// TestSetBytesAccounting: Bytes grows only on insertion and sums interned
+// key lengths across stripes.
+func TestSetBytesAccounting(t *testing.T) {
+	s := NewSet(8)
+	var want int64
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("node-%d", i)
+		s.AddString(uint64(i)*0x9e3779b97f4a7c15, key)
+		want += int64(len(key))
+	}
+	if got := s.Bytes(); got != want {
+		t.Fatalf("Bytes after inserts = %d, want %d", got, want)
+	}
+	for i := 0; i < 500; i++ { // dedup hits retain nothing new
+		s.AddString(uint64(i)*0x9e3779b97f4a7c15, fmt.Sprintf("node-%d", i))
+	}
+	if got := s.Bytes(); got != want {
+		t.Fatalf("Bytes after dedup pass = %d, want %d", got, want)
+	}
+}
+
 // TestRunPoolWithSetGraph drives the pool and set together on a synthetic
 // cyclic graph — the exact shape the valency engine relies on — and
 // checks every node is visited exactly once despite re-derivations.
@@ -181,7 +270,7 @@ func TestRunPoolWithSetGraph(t *testing.T) {
 	const N = 50000
 	s := NewSet(0)
 	var visits atomic.Int64
-	id0, _ := s.Add(0, "n0")
+	id0, _ := s.AddString(0, "n0")
 	if id0 != 0 {
 		t.Fatalf("first id = %d", id0)
 	}
@@ -189,7 +278,7 @@ func TestRunPoolWithSetGraph(t *testing.T) {
 		visits.Add(1)
 		for _, succ := range []int{(n*2 + 1) % N, (n*3 + 2) % N} {
 			key := fmt.Sprintf("n%d", succ)
-			if _, added := s.Add(uint64(succ), key); added {
+			if _, added := s.AddString(uint64(succ), key); added {
 				ctx.Emit(succ)
 			}
 		}

@@ -5,12 +5,20 @@ import (
 	"sync/atomic"
 )
 
-// Set is a lock-striped visited set: membership is keyed by the full
-// canonical encoding (so hash collisions can never merge distinct
-// configurations), while the caller-supplied 64-bit fingerprint selects
-// the stripe and doubles as the map pre-hash.  Each new key is assigned a
-// dense id in insertion order, which the valency engine uses to label
-// nodes of the successor graph for cycle detection.
+// Set is a lock-striped visited set for canonical configuration
+// encodings.  The caller-supplied 64-bit fingerprint selects the stripe
+// and keys the stripe's map, so the common case — a duplicate or a fresh
+// fingerprint — costs one uint64 map operation instead of hashing the
+// full key.  Correctness never rests on the hash alone: each stripe
+// retains (interns) the full key that first claimed a fingerprint, a
+// duplicate is confirmed by comparing against that interned copy, and
+// distinct keys that collide on the same fingerprint are kept apart in a
+// per-stripe overflow map, so a collision can never merge two
+// configurations.
+//
+// Each new key is assigned a dense id in insertion order, which the
+// valency engine uses to label nodes of the successor graph for cycle
+// detection.
 type Set struct {
 	shards []setShard
 	mask   uint64
@@ -18,10 +26,19 @@ type Set struct {
 	hits   atomic.Int64 // Add calls that found the key already present
 }
 
+// setEntry is the interned key and dense id that first claimed a
+// fingerprint in a stripe.
+type setEntry struct {
+	key string
+	id  int64
+}
+
 type setShard struct {
-	mu sync.Mutex
-	m  map[string]int64
-	_  [32]byte // avoid false sharing between adjacent shards
+	mu    sync.Mutex
+	m     map[uint64]setEntry
+	coll  map[string]int64 // distinct keys sharing a claimed fingerprint (≈ never)
+	bytes int64            // interned key bytes retained by this stripe
+	_     [32]byte         // avoid false sharing between adjacent shards
 }
 
 // NewSet returns a set with the given number of stripes, rounded up to a
@@ -36,7 +53,7 @@ func NewSet(shards int) *Set {
 	}
 	s := &Set{shards: make([]setShard, n), mask: uint64(n - 1)}
 	for i := range s.shards {
-		s.shards[i].m = make(map[string]int64)
+		s.shards[i].m = make(map[uint64]setEntry)
 	}
 	return s
 }
@@ -46,18 +63,48 @@ func NewSet(shards int) *Set {
 // function of key (equal keys, equal fingerprints) or the same key can
 // land in two stripes and be admitted twice; collisions between distinct
 // keys are safe.
-func (s *Set) Add(fp uint64, key string) (id int64, added bool) {
+//
+// key may point into a caller-owned scratch buffer: the set copies it
+// only when this call inserts a new key, so dedup hits allocate nothing.
+func (s *Set) Add(fp uint64, key []byte) (id int64, added bool) {
 	sh := &s.shards[fp&s.mask]
 	sh.mu.Lock()
-	if id, ok := sh.m[key]; ok {
+	e, claimed := sh.m[fp]
+	if !claimed {
+		id = s.next.Add(1) - 1
+		k := string(key) // intern: the only retained copy
+		sh.m[fp] = setEntry{key: k, id: id}
+		sh.bytes += int64(len(k))
+		sh.mu.Unlock()
+		return id, true
+	}
+	if e.key == string(key) { // comparison, not a conversion: no allocation
+		sh.mu.Unlock()
+		s.hits.Add(1)
+		return e.id, false
+	}
+	// A true fingerprint collision between distinct keys: fall back to
+	// full-key membership in the stripe's overflow map.
+	if id, ok := sh.coll[string(key)]; ok {
 		sh.mu.Unlock()
 		s.hits.Add(1)
 		return id, false
 	}
 	id = s.next.Add(1) - 1
-	sh.m[key] = id
+	if sh.coll == nil {
+		sh.coll = make(map[string]int64)
+	}
+	k := string(key)
+	sh.coll[k] = id
+	sh.bytes += int64(len(k))
 	sh.mu.Unlock()
 	return id, true
+}
+
+// AddString is Add for callers holding a string key (the legacy
+// string-key engine); it pays one []byte conversion.
+func (s *Set) AddString(fp uint64, key string) (id int64, added bool) {
+	return s.Add(fp, []byte(key))
 }
 
 // Len returns the number of distinct keys added.
@@ -66,3 +113,17 @@ func (s *Set) Len() int { return int(s.next.Load()) }
 // DedupHits returns how many Add calls found their key already present —
 // the count of re-derived configurations the striped set deduplicated.
 func (s *Set) DedupHits() int64 { return s.hits.Load() }
+
+// Bytes returns the total interned key bytes the set retains — the
+// memory footprint of the visited set's keys, surfaced so encoding
+// regressions show up in the engine counters.
+func (s *Set) Bytes() int64 {
+	var total int64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		total += sh.bytes
+		sh.mu.Unlock()
+	}
+	return total
+}

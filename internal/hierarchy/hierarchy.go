@@ -19,6 +19,7 @@
 package hierarchy
 
 import (
+	"encoding/binary"
 	"fmt"
 	"runtime"
 
@@ -110,6 +111,17 @@ func (s machineState) Advance(result int64) sim.State {
 
 // Key implements sim.State.
 func (s machineState) Key() string { return fmt.Sprintf("m%d", s.state) }
+
+// machineKeyTag is machineState's compact-encoding type tag (the
+// protocol package owns 0x10–0x19; sim reserves 0x00 and 0x01).
+const machineKeyTag byte = 0x30
+
+// AppendKey implements sim.KeyAppender, keeping the enumeration search on
+// the allocation-free visited-key path.
+func (s machineState) AppendKey(buf []byte) []byte {
+	buf = append(buf, machineKeyTag)
+	return binary.AppendVarint(buf, int64(s.state))
+}
 
 // domain describes the object's value set and per-op response domains for
 // the enumeration.

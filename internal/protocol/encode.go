@@ -1,0 +1,145 @@
+package protocol
+
+import (
+	"encoding/binary"
+
+	"randsync/internal/sim"
+)
+
+// Compact visited-set encodings (sim.KeyAppender) for every state type in
+// the package.  Each encoding carries a type tag unique across the
+// package (sim reserves 0x00 for the Key fallback and 0x01 for Halted)
+// followed by exactly the fields the legacy Key string renders, so two
+// states of the same protocol have equal AppendKey output iff they have
+// equal Keys — the contract FuzzAppendKey exercises through whole
+// configurations.
+
+const (
+	keyTagDecide byte = 0x10 + iota
+	keyTagCAS
+	keyTagSticky
+	keyTagNaive
+	keyTagWL
+	keyTagWalk
+	keyTagPFA
+	keyTagFlood
+	keyTagRC
+	keyTagSM
+)
+
+func appendBool(buf []byte, b bool) []byte {
+	if b {
+		return append(buf, 1)
+	}
+	return append(buf, 0)
+}
+
+// AppendKey implements sim.KeyAppender.
+func (s decideState) AppendKey(buf []byte) []byte {
+	buf = append(buf, keyTagDecide)
+	return binary.AppendVarint(buf, s.v)
+}
+
+// AppendKey implements sim.KeyAppender.
+func (s casState) AppendKey(buf []byte) []byte {
+	buf = append(buf, keyTagCAS)
+	return binary.AppendVarint(buf, s.input)
+}
+
+// AppendKey implements sim.KeyAppender.
+func (s stickyState) AppendKey(buf []byte) []byte {
+	buf = append(buf, keyTagSticky)
+	return binary.AppendVarint(buf, s.input)
+}
+
+// AppendKey implements sim.KeyAppender.
+func (s naiveState) AppendKey(buf []byte) []byte {
+	buf = append(buf, keyTagNaive)
+	buf = binary.AppendVarint(buf, int64(s.pid))
+	buf = binary.AppendVarint(buf, s.input)
+	return binary.AppendUvarint(buf, uint64(s.pc))
+}
+
+// AppendKey implements sim.KeyAppender.  The protocol name is part of the
+// legacy key, so it is encoded too (length-prefixed, self-delimiting).
+func (s wlState) AppendKey(buf []byte) []byte {
+	buf = append(buf, keyTagWL)
+	buf = binary.AppendUvarint(buf, uint64(len(s.proto.name)))
+	buf = append(buf, s.proto.name...)
+	buf = binary.AppendVarint(buf, int64(s.pid))
+	buf = binary.AppendVarint(buf, s.input)
+	return binary.AppendUvarint(buf, uint64(s.pc))
+}
+
+// AppendKey implements sim.KeyAppender.
+func (s walkState) AppendKey(buf []byte) []byte {
+	buf = append(buf, keyTagWalk)
+	buf = binary.AppendUvarint(buf, uint64(s.pc))
+	buf = binary.AppendVarint(buf, s.input)
+	buf = binary.AppendVarint(buf, s.a)
+	return binary.AppendVarint(buf, s.n)
+}
+
+// AppendKey implements sim.KeyAppender.
+func (s pfaState) AppendKey(buf []byte) []byte {
+	buf = append(buf, keyTagPFA)
+	buf = binary.AppendUvarint(buf, uint64(s.pc))
+	buf = binary.AppendVarint(buf, s.input)
+	return binary.AppendVarint(buf, s.n)
+}
+
+// AppendKey implements sim.KeyAppender.  views is length-prefixed; the
+// legacy Key's %v rendering likewise distinguishes slices only by
+// contents, never nil-versus-empty.
+func (s floodState) AppendKey(buf []byte) []byte {
+	buf = append(buf, keyTagFlood)
+	buf = binary.AppendVarint(buf, s.pref)
+	buf = binary.AppendUvarint(buf, uint64(len(s.views)))
+	for _, v := range s.views {
+		buf = binary.AppendVarint(buf, v)
+	}
+	return buf
+}
+
+// AppendKey implements sim.KeyAppender.
+func (s rcState) AppendKey(buf []byte) []byte {
+	buf = append(buf, keyTagRC)
+	buf = binary.AppendVarint(buf, int64(s.pid))
+	buf = binary.AppendVarint(buf, s.pref)
+	buf = binary.AppendVarint(buf, s.round)
+	buf = binary.AppendUvarint(buf, uint64(s.phase))
+	buf = binary.AppendVarint(buf, int64(s.idx))
+	buf = binary.AppendVarint(buf, s.coin)
+	buf = appendBool(buf, s.conflict)
+	buf = appendBool(buf, s.anyHigher)
+	buf = appendBool(buf, s.anyFalseR)
+	return binary.AppendVarint(buf, s.trueVal)
+}
+
+// AppendKey implements sim.KeyAppender.  Like the legacy Key's %v, the
+// scan view is distinguished by contents only (nil and empty coincide;
+// they never occur at the same pc).
+func (s smState) AppendKey(buf []byte) []byte {
+	buf = append(buf, keyTagSM)
+	buf = binary.AppendVarint(buf, s.pref)
+	buf = binary.AppendVarint(buf, int64(s.pc))
+	buf = binary.AppendUvarint(buf, uint64(len(s.scan)))
+	for _, v := range s.scan {
+		buf = binary.AppendVarint(buf, v)
+	}
+	return buf
+}
+
+// Compile-time checks that every state type stays on the compact path.
+var (
+	_ sim.KeyAppender = decideState{}
+	_ sim.KeyAppender = casState{}
+	_ sim.KeyAppender = stickyState{}
+	_ sim.KeyAppender = naiveState{}
+	_ sim.KeyAppender = wlState{}
+	_ sim.KeyAppender = walkState{}
+	_ sim.KeyAppender = pfaState{}
+	_ sim.KeyAppender = floodState{}
+	_ sim.KeyAppender = rcState{}
+	_ sim.KeyAppender = smState{}
+)

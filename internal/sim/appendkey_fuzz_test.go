@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+)
+
+// randomWalk drives a script of schedule/coin choices from the initial
+// configuration, calling visit on every configuration reached (including
+// the initial one).
+func randomWalk(t *testing.T, proto Protocol, inputs []int64, script []byte, visit func(*Config)) {
+	t.Helper()
+	c := NewConfig(proto, inputs)
+	visit(c)
+	for _, b := range script {
+		pid := int(b>>4) % c.N()
+		a := c.Pending(pid)
+		if a.Kind == ActHalt {
+			continue
+		}
+		outcome := int64(0)
+		if a.Kind == ActFlip {
+			outcome = int64(b) % a.Sides
+		}
+		if _, err := c.Step(pid, outcome); err != nil {
+			t.Fatalf("step P%d: %v", pid, err)
+		}
+		visit(c)
+	}
+}
+
+// FuzzAppendKey checks the compact-encoding contract against the legacy
+// string key on random reachable configurations of both toy protocols
+// (flipState uses the KeyAppender fast path, wrState the 0x00 fallback):
+//
+//   - equal Keys ⇔ equal AppendKey encodings across the whole corpus;
+//   - Fingerprint64 agrees with hashing the encoding directly;
+//   - AppendKey appends (preserves an existing buffer prefix) and is
+//     reproducible on a Clone.
+func FuzzAppendKey(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{255, 0, 255, 0})
+	f.Add([]byte{})
+	f.Add([]byte{13, 37, 42, 99, 1, 1, 1, 1, 200, 150})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		byKey := make(map[string]string)  // legacy key -> compact encoding
+		byEnc := make(map[string]string)  // compact encoding -> legacy key
+		visit := func(c *Config) {
+			key := c.Key()
+			enc := c.AppendKey(nil)
+			if fp := c.Fingerprint64(); fp != FingerprintBytes(enc) {
+				t.Fatalf("Fingerprint64 = %#x but FingerprintBytes(AppendKey) = %#x", fp, FingerprintBytes(enc))
+			}
+			withPrefix := c.AppendKey([]byte("prefix"))
+			if !bytes.HasPrefix(withPrefix, []byte("prefix")) || !bytes.Equal(withPrefix[6:], enc) {
+				t.Fatalf("AppendKey does not append: %q vs prefix+%q", withPrefix, enc)
+			}
+			if cl := c.Clone().AppendKey(nil); !bytes.Equal(cl, enc) {
+				t.Fatalf("clone encoding %q differs from original %q", cl, enc)
+			}
+			if prev, seen := byKey[key]; seen && prev != string(enc) {
+				t.Fatalf("key %q encoded two ways: %q and %q", key, prev, enc)
+			}
+			byKey[key] = string(enc)
+			if prev, seen := byEnc[string(enc)]; seen && prev != key {
+				t.Fatalf("encoding %q covers two keys: %q and %q", enc, prev, key)
+			}
+			byEnc[string(enc)] = key
+		}
+		randomWalk(t, writeReadProto{}, []int64{0, 1, 1}, script, visit)
+		randomWalk(t, flipProto{}, []int64{0, 1, 1}, script, visit)
+	})
+}
+
+// permuteConfig returns a copy of c with process slots rearranged by perm
+// (slot i of the result is slot perm[i] of c) — exactly the configuration
+// an adversary renaming identical processes would produce.
+func permuteConfig(c *Config, perm []int) *Config {
+	p := c.Clone()
+	for i, j := range perm {
+		p.States[i] = c.States[j]
+		p.Inputs[i] = c.Inputs[j]
+		p.Decided[i] = c.Decided[j]
+		p.Decision[i] = c.Decision[j]
+		p.Steps[i] = c.Steps[j]
+	}
+	return p
+}
+
+// FuzzCanonicalKey checks the symmetry canonicalizer: for random reachable
+// configurations of identical-process protocols, every permutation of the
+// process slots produces the identical canonical encoding, and the
+// canonical encoding of the identity permutation is stable.  It also
+// checks that canonicalization never crosses configurations: the shared
+// objects and the slot multiset are preserved, so two walks that reach
+// genuinely different states (different canonical encodings) stay
+// distinct.
+func FuzzCanonicalKey(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7}, uint8(1))
+	f.Add([]byte{255, 0, 255, 0}, uint8(3))
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{13, 37, 42, 99, 1, 1, 200, 150}, uint8(5))
+	f.Fuzz(func(t *testing.T, script []byte, permSeed uint8) {
+		perms3 := [][]int{
+			{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0},
+		}
+		var keyer Keyer
+		keyer.Symmetry = true
+		visit := func(c *Config) {
+			want := keyer.AppendKey(c, nil)
+			for _, perm := range perms3 {
+				got := keyer.AppendKey(permuteConfig(c, perm), nil)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("permutation %v changed canonical key: %q vs %q", perm, got, want)
+				}
+			}
+			// A second keyer (fresh scratch) agrees: no hidden state.
+			var k2 Keyer
+			k2.Symmetry = true
+			if got := k2.AppendKey(c, nil); !bytes.Equal(got, want) {
+				t.Fatalf("fresh keyer disagrees: %q vs %q", got, want)
+			}
+			// Symmetry off must reduce to the plain encoding.
+			var k3 Keyer
+			if got := k3.AppendKey(c, nil); !bytes.Equal(got, c.AppendKey(nil)) {
+				t.Fatalf("Symmetry=false keyer diverged from AppendKey")
+			}
+		}
+		// Both toy protocols are identical-process; the permutation seed
+		// perturbs the walk so different slots advance unevenly.
+		script2 := append([]byte{permSeed}, script...)
+		randomWalk(t, writeReadProto{}, []int64{0, 1, 1}, script2, visit)
+		randomWalk(t, flipProto{}, []int64{1, 0, 1}, script2, visit)
+	})
+}
+
+// FuzzStepIntoUndo checks the copy-on-write step discipline against the
+// clone-based reference on random walks: StepInto produces the same event
+// and configuration as Clone+Step, and UndoStep restores the original
+// configuration exactly (encoding and step counts included).
+func FuzzStepIntoUndo(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{255, 0, 255, 0})
+	f.Add([]byte{13, 37, 42, 99, 1, 1, 1, 1, 200, 150})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		for _, proto := range []Protocol{writeReadProto{}, flipProto{}} {
+			c := NewConfig(proto, []int64{0, 1, 1})
+			for _, b := range script {
+				pid := int(b>>4) % c.N()
+				a := c.Pending(pid)
+				if a.Kind == ActHalt {
+					continue
+				}
+				outcome := int64(0)
+				if a.Kind == ActFlip {
+					outcome = int64(b) % a.Sides
+				}
+				before := c.AppendKey(nil)
+				beforeSteps := append([]int(nil), c.Steps...)
+
+				ref := c.Clone()
+				refEv, refErr := ref.Step(pid, outcome)
+
+				var u StepUndo
+				ev, err := c.StepInto(pid, outcome, &u)
+				if (err == nil) != (refErr == nil) {
+					t.Fatalf("StepInto err %v but Step err %v", err, refErr)
+				}
+				if err != nil {
+					continue
+				}
+				if ev != refEv {
+					t.Fatalf("StepInto event %+v differs from Step event %+v", ev, refEv)
+				}
+				if got, want := c.AppendKey(nil), ref.AppendKey(nil); !bytes.Equal(got, want) {
+					t.Fatalf("StepInto configuration %q differs from Step %q", got, want)
+				}
+				// Undo restores the pre-step configuration, then redo to
+				// continue the walk along the reference path.
+				c.UndoStep(&u)
+				if got := c.AppendKey(nil); !bytes.Equal(got, before) {
+					t.Fatalf("UndoStep left %q, want %q", got, before)
+				}
+				for i := range beforeSteps {
+					if c.Steps[i] != beforeSteps[i] {
+						t.Fatalf("UndoStep left Steps[%d]=%d, want %d", i, c.Steps[i], beforeSteps[i])
+					}
+				}
+				if _, err := c.StepInto(pid, outcome, &u); err != nil {
+					t.Fatalf("redo step: %v", err)
+				}
+			}
+		}
+	})
+}

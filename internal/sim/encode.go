@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sync"
+)
+
+// This file is the compact-key path of the exploration engines: a binary
+// configuration encoding that replaces Config.Key's canonical string on
+// the model-checking hot path.  The string form allocates a fresh
+// strings.Builder plus strconv garbage per configuration; the binary form
+// appends into a caller-owned scratch buffer, so encoding a configuration
+// and fingerprinting it allocate nothing, and the only retained copy is
+// the one the visited set interns for a genuinely new configuration.
+//
+// Encoding layout (all integers varint-encoded with encoding/binary):
+//
+//	config  := slot^n object^r
+//	slot    := state varint(input) decidedByte [varint(decision)]
+//	state   := tagByte fields...            (KeyAppender implementations)
+//	         | 0x00 uvarint(len) keyBytes   (fallback via State.Key)
+//
+// Every component is self-delimiting and the slot and object counts are
+// fixed for a given (Protocol, inputs) instance, so within one exploration
+// the encoding is injective: two configurations have equal encodings iff
+// they have equal Config.Keys.  FuzzAppendKey checks that equivalence.
+
+// KeyAppender is an optional State extension: states that implement it
+// append a compact self-delimiting binary encoding of themselves instead
+// of going through the Key() string fallback.
+//
+// The contract mirrors Key's: two states of the same protocol have equal
+// AppendKey output iff they have equal Keys.  The first appended byte
+// must be a type tag that is unique among all state types that can occur
+// together in one configuration; 0x00 is reserved for the Key() fallback
+// and 0x01 for Halted.
+type KeyAppender interface {
+	AppendKey(buf []byte) []byte
+}
+
+// HaltedKeyTag is the state-encoding tag of Halted (the only state every
+// protocol shares); protocol packages must pick tags above it.
+const HaltedKeyTag = 0x01
+
+// AppendKey implements KeyAppender.
+func (Halted) AppendKey(buf []byte) []byte { return append(buf, HaltedKeyTag) }
+
+// AppendStateKey appends the compact encoding of s to buf: the state's
+// own KeyAppender encoding when implemented, otherwise the 0x00-tagged
+// length-prefixed Key() string.
+func AppendStateKey(buf []byte, s State) []byte {
+	if ka, ok := s.(KeyAppender); ok {
+		return ka.AppendKey(buf)
+	}
+	k := s.Key()
+	buf = append(buf, 0x00)
+	buf = binary.AppendUvarint(buf, uint64(len(k)))
+	return append(buf, k...)
+}
+
+// appendSlot appends the compact encoding of process slot pid: state,
+// input, and decision bookkeeping.  The encoding is self-delimiting, so
+// slot encodings concatenate (and, for identical-process protocols, sort)
+// without ambiguity.
+func (c *Config) appendSlot(buf []byte, pid int) []byte {
+	buf = AppendStateKey(buf, c.States[pid])
+	buf = binary.AppendVarint(buf, c.Inputs[pid])
+	if c.Decided[pid] {
+		buf = append(buf, 1)
+		buf = binary.AppendVarint(buf, c.Decision[pid])
+	} else {
+		buf = append(buf, 0)
+	}
+	return buf
+}
+
+// appendObjects appends the shared-object values.
+func (c *Config) appendObjects(buf []byte) []byte {
+	for _, v := range c.Objects {
+		buf = binary.AppendVarint(buf, v)
+	}
+	return buf
+}
+
+// AppendKey appends the compact binary encoding of the configuration to
+// buf and returns the extended slice.  It is the allocation-free
+// counterpart of Key: within one exploration, two configurations have
+// equal AppendKey encodings iff they have equal Keys.  Callers on the
+// exploration hot path reuse a per-worker scratch buffer
+// (buf = c.AppendKey(buf[:0])).
+func (c *Config) AppendKey(buf []byte) []byte {
+	for pid := range c.States {
+		buf = c.appendSlot(buf, pid)
+	}
+	return c.appendObjects(buf)
+}
+
+// FingerprintBytes hashes a compact encoding with FNV-1a, the binary
+// counterpart of FingerprintKey.
+func FingerprintBytes(key []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// keyScratch pools encoding buffers for Fingerprint64 callers that do not
+// carry their own scratch.
+var keyScratch = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
+
+// Fingerprint64 returns the 64-bit FNV-1a fingerprint of the compact
+// encoding, without building a string: configurations with equal
+// AppendKey encodings always have equal fingerprints.  Hot paths that
+// also need the key bytes should encode once with AppendKey and hash the
+// result with FingerprintBytes instead.
+func (c *Config) Fingerprint64() uint64 {
+	bp := keyScratch.Get().(*[]byte)
+	b := c.AppendKey((*bp)[:0])
+	h := FingerprintBytes(b)
+	*bp = b
+	keyScratch.Put(bp)
+	return h
+}
+
+// Keyer encodes configurations into compact visited-set keys, reusing
+// internal scratch across calls; exploration engines hold one per worker.
+//
+// With Symmetry set and an identical-process protocol (Protocol.Identical,
+// the §3.1 cloning precondition), the encoding is canonicalized by sorting
+// the process-slot encodings — (state, input, decided, decision) tuples —
+// lexicographically before concatenation.  All n! process permutations of
+// a configuration then share one canonical key, so permutation-equivalent
+// configurations dedup to a single visited entry.  This is sound for
+// verdicts because permuting identical-process slots commutes with the
+// step relation: the successors of a permuted configuration are exactly
+// the permutations of the successors, and every checked property
+// (consistency, validity, stuck survivors, reachable decision values,
+// cycle existence) is invariant under slot permutation.
+type Keyer struct {
+	// Symmetry enables identical-process canonicalization.  It has no
+	// effect on protocols whose processes are not identical.
+	Symmetry bool
+
+	slotBuf []byte
+	slotEnd []int
+	order   []int
+}
+
+// AppendKey appends the (possibly canonical) compact encoding of c.
+func (k *Keyer) AppendKey(c *Config, buf []byte) []byte {
+	if !k.Symmetry || c.N() < 2 || !c.Proto.Identical() {
+		return c.AppendKey(buf)
+	}
+	k.slotBuf = k.slotBuf[:0]
+	k.slotEnd = k.slotEnd[:0]
+	k.order = k.order[:0]
+	for pid := range c.States {
+		k.slotBuf = c.appendSlot(k.slotBuf, pid)
+		k.slotEnd = append(k.slotEnd, len(k.slotBuf))
+		k.order = append(k.order, pid)
+	}
+	slot := func(pid int) []byte {
+		start := 0
+		if pid > 0 {
+			start = k.slotEnd[pid-1]
+		}
+		return k.slotBuf[start:k.slotEnd[pid]]
+	}
+	// Insertion sort on the handful of slots: allocation-free and faster
+	// than sort.Slice at exploration-scale n.
+	for i := 1; i < len(k.order); i++ {
+		for j := i; j > 0 && bytes.Compare(slot(k.order[j]), slot(k.order[j-1])) < 0; j-- {
+			k.order[j], k.order[j-1] = k.order[j-1], k.order[j]
+		}
+	}
+	for _, pid := range k.order {
+		buf = append(buf, slot(pid)...)
+	}
+	return c.appendObjects(buf)
+}

@@ -266,15 +266,39 @@ func (x Execution) ByProcess() []int {
 // [0, Sides); for all other actions outcome is ignored.  Step returns the
 // recorded event, or an error if pid has halted or outcome is invalid.
 func (c *Config) Step(pid int, outcome int64) (Event, error) {
+	var u StepUndo
+	return c.StepInto(pid, outcome, &u)
+}
+
+// StepUndo records what one StepInto changed, so UndoStep can restore the
+// configuration exactly.  A zero StepUndo is ready for use; the serial
+// exploration engine keeps one per DFS frame on the stack.
+type StepUndo struct {
+	pid      int
+	kind     ActionKind
+	state    State // States[pid] before the step
+	obj      int   // object mutated, for ActOperate
+	objVal   int64 // Objects[obj] before the step
+	decided  bool  // Decided[pid] before the step, for ActDecide
+	decision int64 // Decision[pid] before the step, for ActDecide
+}
+
+// StepInto is the copy-on-write counterpart of Clone-then-Step: it
+// executes the pending action of pid in place, recording the overwritten
+// values in u so UndoStep can back the configuration out on backtrack.
+// On error the configuration is unchanged and u is not meaningful.
+func (c *Config) StepInto(pid int, outcome int64, u *StepUndo) (Event, error) {
 	if pid < 0 || pid >= len(c.States) {
 		return Event{}, fmt.Errorf("sim: step of unknown process P%d", pid)
 	}
 	a := c.States[pid].Action()
+	u.pid, u.kind, u.state = pid, a.Kind, c.States[pid]
 	switch a.Kind {
 	case ActOperate:
 		if a.Obj < 0 || a.Obj >= len(c.Objects) {
 			return Event{}, fmt.Errorf("sim: P%d operates on unknown object R%d", pid, a.Obj)
 		}
+		u.obj, u.objVal = a.Obj, c.Objects[a.Obj]
 		newVal, resp := c.types[a.Obj].Apply(c.Objects[a.Obj], a.Op)
 		c.Objects[a.Obj] = newVal
 		c.States[pid] = c.States[pid].Advance(resp)
@@ -291,6 +315,7 @@ func (c *Config) Step(pid int, outcome int64) (Event, error) {
 		c.Steps[pid]++
 		return Event{Pid: pid, Action: a, Result: outcome}, nil
 	case ActDecide:
+		u.decided, u.decision = c.Decided[pid], c.Decision[pid]
 		c.Decided[pid] = true
 		c.Decision[pid] = a.Value
 		c.States[pid] = c.States[pid].Advance(0)
@@ -305,6 +330,21 @@ func (c *Config) Step(pid int, outcome int64) (Event, error) {
 		return Event{}, fmt.Errorf("sim: step of halted process P%d", pid)
 	}
 	return Event{}, fmt.Errorf("sim: P%d has unknown action kind %v", pid, a.Kind)
+}
+
+// UndoStep reverses the mutation recorded by a successful StepInto,
+// restoring the configuration that preceded it.  Undos must be applied in
+// reverse step order (LIFO), which is exactly the DFS backtrack order.
+func (c *Config) UndoStep(u *StepUndo) {
+	c.States[u.pid] = u.state
+	c.Steps[u.pid]--
+	switch u.kind {
+	case ActOperate:
+		c.Objects[u.obj] = u.objVal
+	case ActDecide:
+		c.Decided[u.pid] = u.decided
+		c.Decision[u.pid] = u.decision
+	}
 }
 
 // Apply replays an execution against c, mutating c, and verifies at each

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"encoding/binary"
 	"fmt"
 	"strings"
 	"testing"
@@ -83,6 +84,18 @@ func (s flipState) Advance(result int64) State {
 }
 
 func (s flipState) Key() string { return fmt.Sprintf("f:%v:%d", s.flipped, s.outcome) }
+
+// AppendKey implements KeyAppender so the test world exercises the compact
+// path; wrState deliberately does not, covering the Key() fallback.
+func (s flipState) AppendKey(buf []byte) []byte {
+	buf = append(buf, 0x7F)
+	if s.flipped {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	return binary.AppendVarint(buf, s.outcome)
+}
 
 func TestStepAndDecide(t *testing.T) {
 	c := NewConfig(writeReadProto{}, []int64{0, 1})

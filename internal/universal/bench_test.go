@@ -21,6 +21,25 @@ func BenchmarkUniversalApply(b *testing.B) {
 	}
 }
 
+// BenchmarkExploreUniversalLog measures the universal construction's log
+// workload end to end: four processes round-robin operations through the
+// CAS-backed universal counter, each Apply running log consensus plus
+// replay — the §5-style construction the exploration engines certify.
+func BenchmarkExploreUniversalLog(b *testing.B) {
+	const procs = 4
+	u, err := New(object.CounterType{}, procs, casFactory, Options{MaxOps: b.N + procs + 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := u.Apply(i%procs, object.Op{Kind: object.Inc}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkMultiPropose measures one bit-by-bit multi-valued agreement.
 func BenchmarkMultiPropose(b *testing.B) {
 	for i := 0; i < b.N; i++ {

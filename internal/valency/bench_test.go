@@ -17,18 +17,78 @@ func benchWorkerCounts() []int {
 	return counts
 }
 
-// BenchmarkExploreParallel measures the parallel engine against the
-// serial baseline (workers=1) on the E11 workload: the three-counter
-// random-walk protocol at n=3, all schedules and coin outcomes over all
-// input vectors (~253k configurations).  On a multi-core box the
-// workers=GOMAXPROCS line should undercut workers=1 by ≥ 2×.
+// benchEngines is the engine ladder the benchmark pipeline compares:
+// baseline is the pre-optimization string-key engine (Config.Key + Clone
+// per step), compact adds the binary encoding with copy-on-write
+// stepping, and symmetry adds identical-process canonicalization on top.
+func benchEngines() []struct {
+	name string
+	opts Options
+} {
+	return []struct {
+		name string
+		opts Options
+	}{
+		{"baseline", Options{LegacyKeys: true}},
+		{"compact", Options{NoSymmetry: true}},
+		{"symmetry", Options{}},
+	}
+}
+
+// BenchmarkExploreParallel measures the exploration engines on the E11
+// workload: the three-counter random-walk protocol at n=3 with a mixed
+// input vector, all schedules and coin outcomes.  The engine dimension
+// compares the string-key baseline against the compact encoding and
+// symmetry reduction (the acceptance metric of the benchmark pipeline:
+// configs/s and allocs/op, baseline vs optimized, same run); the workers
+// dimension exercises the config-level parallel engine, whose Stats
+// supply the dedup ratio and retained key bytes.
 func BenchmarkExploreParallel(b *testing.B) {
 	p := protocol.NewCounterWalk(3)
-	for _, w := range benchWorkerCounts() {
-		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+	inputs := []int64{0, 1, 1}
+	for _, eng := range benchEngines() {
+		for _, w := range benchWorkerCounts() {
+			b.Run(fmt.Sprintf("engine=%s/workers=%d", eng.name, w), func(b *testing.B) {
+				b.ReportAllocs()
+				var configs int
+				var dedup, keyBytes float64
+				for i := 0; i < b.N; i++ {
+					opts := eng.opts
+					opts.Workers = w
+					opts.MaxConfigs = 1 << 24
+					rep := Check(p, inputs, opts)
+					if rep.Violation != nil || !rep.Complete {
+						b.Fatalf("E11 workload must verify cleanly: %+v", rep)
+					}
+					configs = rep.Configs
+					if rep.Stats != nil {
+						keyBytes = float64(rep.Stats.KeyBytes)
+						if rep.Stats.Generated > 0 {
+							dedup = float64(rep.Stats.DedupHits) / float64(rep.Stats.Generated)
+						}
+					}
+				}
+				b.ReportMetric(float64(configs), "configs")
+				b.ReportMetric(float64(configs)*float64(b.N)/b.Elapsed().Seconds(), "configs/s")
+				b.ReportMetric(dedup, "dedup")
+				b.ReportMetric(keyBytes, "keybytes")
+			})
+		}
+	}
+}
+
+// BenchmarkExploreAllInputs measures the vector-level fan-out (the
+// CheckAllInputs path of the E11 certificate: all 2^3 input vectors).
+func BenchmarkExploreAllInputs(b *testing.B) {
+	p := protocol.NewCounterWalk(3)
+	for _, eng := range benchEngines() {
+		b.Run(fmt.Sprintf("engine=%s", eng.name), func(b *testing.B) {
+			b.ReportAllocs()
 			var configs int
 			for i := 0; i < b.N; i++ {
-				rep := CheckAllInputs(p, 3, Options{Workers: w, MaxConfigs: 1 << 24})
+				opts := eng.opts
+				opts.MaxConfigs = 1 << 24
+				rep := CheckAllInputs(p, 3, opts)
 				if rep.Violation != nil || !rep.Complete {
 					b.Fatalf("E11 workload must verify cleanly: %+v", rep)
 				}

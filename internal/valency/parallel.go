@@ -24,6 +24,10 @@ type Stats struct {
 	Steals int64
 	// PeakFrontier is the high-water mark of unexplored configurations.
 	PeakFrontier int64
+	// KeyBytes is the total interned visited-set key bytes retained at
+	// the end of exploration — the memory the dedup structure holds, so
+	// encoding regressions surface in the engine counters.
+	KeyBytes int64
 	// Elapsed is the wall-clock exploration time.
 	Elapsed time.Duration
 }
@@ -45,6 +49,8 @@ type pwork struct {
 	edges     []edge
 	decisions map[int64]bool
 	generated int64
+	keyer     sim.Keyer
+	buf       []byte // visited-key scratch, reused across successors
 }
 
 // ptask is one frontier item: an unexplored configuration and its dense
@@ -74,16 +80,24 @@ func checkParallel(proto sim.Protocol, inputs []int64, opts Options) *Report {
 		valid[in] = true
 	}
 
+	legacy := opts.LegacyKeys
 	set := explore.NewSet(workers * 8)
 	ws := make([]pwork, workers)
 	for i := range ws {
 		ws[i].decisions = make(map[int64]bool)
+		ws[i].keyer.Symmetry = opts.symmetry()
 	}
 	var violated, incomplete atomic.Bool
 
 	initial := sim.NewConfig(proto, inputs)
-	ikey := opts.exploreKey(initial)
-	iid, _ := set.Add(sim.FingerprintKey(ikey), ikey)
+	var iid int64
+	if legacy {
+		ikey := opts.exploreKey(initial)
+		iid, _ = set.AddString(sim.FingerprintKey(ikey), ikey)
+	} else {
+		ws[0].buf = opts.appendExploreKey(&ws[0].keyer, initial, ws[0].buf[:0])
+		iid, _ = set.Add(sim.FingerprintBytes(ws[0].buf), ws[0].buf)
+	}
 
 	stats := explore.Run(workers, []ptask{{cfg: initial, id: iid}}, func(t ptask, ctx *explore.Ctx[ptask]) {
 		w := &ws[ctx.Worker()]
@@ -106,26 +120,54 @@ func checkParallel(proto sim.Protocol, inputs []int64, opts Options) *Report {
 				outcomes = a.Sides
 			}
 			for o := int64(0); o < outcomes; o++ {
-				next := c.Clone()
-				if _, err := next.Step(pid, o); err != nil {
+				var id int64
+				var added bool
+				if legacy {
+					next := c.Clone()
+					if _, err := next.Step(pid, o); err != nil {
+						// Serial reports this as a Stuck violation; defer to it.
+						violated.Store(true)
+						ctx.Stop()
+						return
+					}
+					w.generated++
+					key := opts.exploreKey(next)
+					id, added = set.AddString(sim.FingerprintKey(key), key)
+					w.edges = append(w.edges, edge{from: t.id, to: id})
+					if !added {
+						continue
+					}
+					if id >= budget {
+						incomplete.Store(true)
+						ctx.Stop()
+						return
+					}
+					ctx.Emit(ptask{cfg: next, id: id})
+					continue
+				}
+				// Copy-on-write successor generation: step the task's own
+				// configuration in place, encode+dedup, and clone only the
+				// successors the visited set admits to the frontier.
+				var u sim.StepUndo
+				if _, err := c.StepInto(pid, o, &u); err != nil {
 					// Serial reports this as a Stuck violation; defer to it.
 					violated.Store(true)
 					ctx.Stop()
 					return
 				}
 				w.generated++
-				key := opts.exploreKey(next)
-				id, added := set.Add(sim.FingerprintKey(key), key)
+				w.buf = opts.appendExploreKey(&w.keyer, c, w.buf[:0])
+				id, added = set.Add(sim.FingerprintBytes(w.buf), w.buf)
 				w.edges = append(w.edges, edge{from: t.id, to: id})
-				if !added {
-					continue
+				if added {
+					if id >= budget {
+						incomplete.Store(true)
+						ctx.Stop()
+						return
+					}
+					ctx.Emit(ptask{cfg: c.Clone(), id: id})
 				}
-				if id >= budget {
-					incomplete.Store(true)
-					ctx.Stop()
-					return
-				}
-				ctx.Emit(ptask{cfg: next, id: id})
+				c.UndoStep(&u)
 			}
 		}
 	})
@@ -156,6 +198,7 @@ func checkParallel(proto sim.Protocol, inputs []int64, opts Options) *Report {
 		DedupHits:    set.DedupHits(),
 		Steals:       stats.Steals,
 		PeakFrontier: stats.PeakPending,
+		KeyBytes:     set.Bytes(),
 		Elapsed:      stats.Elapsed,
 	}
 	return rep
@@ -298,7 +341,12 @@ func checkAllInputsParallel(proto sim.Protocol, n int, opts Options) *Report {
 			aggStats.DedupHits += rep.Stats.DedupHits
 			aggStats.Steals += rep.Stats.Steals
 			aggStats.PeakFrontier += rep.Stats.PeakFrontier
-			aggStats.Elapsed += rep.Stats.Elapsed
+			aggStats.KeyBytes += rep.Stats.KeyBytes
+			if poolStats.Elapsed == 0 {
+				// Vector-level fan-out already measured wall-clock in the
+				// pool; only the sequential branch sums per-vector time.
+				aggStats.Elapsed += rep.Stats.Elapsed
+			}
 		}
 		if rep.Violation != nil {
 			rep.Configs = agg.Configs

@@ -25,10 +25,12 @@
 package valency
 
 import (
+	"encoding/binary"
 	"fmt"
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"randsync/internal/sim"
 )
@@ -93,6 +95,18 @@ type Options struct {
 	// Crash[pid] = 0 removes pid outright, so an all-but-one schedule of
 	// zeros certifies solo termination under crashes exhaustively.
 	Crash []int
+	// NoSymmetry disables identical-process symmetry reduction, forcing
+	// the engines to visit every process permutation of each
+	// configuration separately.  Reduction is sound for every reported
+	// field (see sim.Keyer), so this knob exists for differential testing
+	// and baseline benchmarking, not for correctness.
+	NoSymmetry bool
+	// LegacyKeys selects the original string-key engine (Config.Key +
+	// Clone per step) instead of the compact binary encoding with
+	// copy-on-write stepping.  Verdicts are identical either way; the
+	// knob pins the pre-optimization baseline for differential tests and
+	// benchmarks.  LegacyKeys implies NoSymmetry.
+	LegacyKeys bool
 }
 
 func (o Options) maxConfigs() int {
@@ -118,11 +132,50 @@ func (o Options) Crashed(c *sim.Config, pid int) bool {
 	return pid < len(o.Crash) && o.Crash[pid] >= 0 && c.Steps[pid] >= o.Crash[pid]
 }
 
-// exploreKey returns the visited-set key for c.  Config.Key ignores step
-// counts, but under a crash schedule a process's remaining steps to
-// crash determine its future behavior, so the key is extended with each
-// scheduled process's remaining allowance (clamped at 0: crashed is
-// crashed, however far past the limit).
+// symmetry reports whether the engines canonicalize identical-process
+// configurations.  Reduction is off under a crash schedule: Crash[pid]
+// attaches a per-slot step allowance, so processes in equal states are
+// no longer interchangeable and sorting slots would conflate distinct
+// crash futures.
+func (o Options) symmetry() bool {
+	return !o.NoSymmetry && !o.LegacyKeys && len(o.Crash) == 0
+}
+
+// crashKeyTag separates the configuration encoding from the appended
+// crash allowances in compact visited-set keys.  It cannot begin a slot
+// (state tags are small) nor collide with varint bytes at this position,
+// so keys with and without a crash suffix never alias.
+const crashKeyTag = 0xFD
+
+// appendExploreKey appends the compact visited-set key for c: the
+// (possibly canonical) configuration encoding, extended — exactly as
+// exploreKey extends Config.Key — with each scheduled process's
+// remaining steps to crash when a crash schedule is active, because the
+// allowance determines the process's future behavior.
+func (o Options) appendExploreKey(k *sim.Keyer, c *sim.Config, buf []byte) []byte {
+	buf = k.AppendKey(c, buf)
+	if len(o.Crash) == 0 {
+		return buf
+	}
+	buf = append(buf, crashKeyTag)
+	for pid, lim := range o.Crash {
+		rem := -1
+		if lim >= 0 {
+			if rem = lim - c.Steps[pid]; rem < 0 {
+				rem = 0
+			}
+		}
+		buf = binary.AppendVarint(buf, int64(rem))
+	}
+	return buf
+}
+
+// exploreKey returns the legacy string visited-set key for c (the
+// LegacyKeys engine).  Config.Key ignores step counts, but under a crash
+// schedule a process's remaining steps to crash determine its future
+// behavior, so the key is extended with each scheduled process's
+// remaining allowance (clamped at 0: crashed is crashed, however far
+// past the limit).
 func (o Options) exploreKey(c *sim.Config) string {
 	if len(o.Crash) == 0 {
 		return c.Key()
@@ -160,18 +213,23 @@ type Report struct {
 	// Livelock is true if some cycle of configurations with undecided
 	// processes is reachable: an adversary can postpone decision forever.
 	Livelock bool
-	// Stats carries the parallel engine's throughput counters; nil when
-	// the serial engine ran.  Performance telemetry only: it is excluded
-	// from verdict comparisons.
+	// Stats carries the engine's throughput counters.  The serial engine
+	// fills Workers (1), KeyBytes and Elapsed only; the parallel engine
+	// fills everything.  Performance telemetry only: it is excluded from
+	// verdict comparisons.
 	Stats *Stats
 }
 
 // checker carries exploration state.
 type checker struct {
-	opts    Options
-	visited map[string]uint8 // 1 = on stack (grey), 2 = done (black)
-	path    sim.Execution
-	rep     *Report
+	opts     Options
+	visited  map[string]uint8 // 1 = on stack (grey), 2 = done (black)
+	path     sim.Execution
+	rep      *Report
+	valid    map[int64]bool // the run's input values; fixed per exploration
+	keyer    sim.Keyer
+	buf      []byte // visited-key scratch, reused across configurations
+	keyBytes int64  // visited-map key bytes retained
 }
 
 // Check explores all executions of proto from the given inputs.
@@ -200,23 +258,26 @@ func checkSerial(proto sim.Protocol, inputs []int64, opts Options) *Report {
 		opts:    opts,
 		visited: make(map[string]uint8),
 		rep:     rep,
+		valid:   make(map[int64]bool, len(inputs)),
 	}
+	for _, in := range inputs {
+		ch.valid[in] = true
+	}
+	ch.keyer.Symmetry = opts.symmetry()
 	c := sim.NewConfig(proto, inputs)
+	start := time.Now()
 	ch.explore(c)
 	rep.Configs = len(ch.visited)
 	if rep.Violation != nil {
 		rep.Complete = false
 	}
+	rep.Stats = &Stats{Workers: 1, KeyBytes: ch.keyBytes, Elapsed: time.Since(start)}
 	return rep
 }
 
 // violationAt inspects a configuration for safety violations and records
 // the first one found, returning true if exploration should stop.
 func (ch *checker) violationAt(c *sim.Config) bool {
-	valid := make(map[int64]bool, len(c.Inputs))
-	for _, in := range c.Inputs {
-		valid[in] = true
-	}
 	firstPid, firstVal := -1, int64(0)
 	for pid, d := range c.Decided {
 		if !d {
@@ -230,7 +291,7 @@ func (ch *checker) violationAt(c *sim.Config) bool {
 		}
 		v := c.Decision[pid]
 		ch.rep.Decisions[v] = true
-		if !valid[v] {
+		if !ch.valid[v] {
 			ch.record(Validity, fmt.Sprintf("P%d decided %d, which is no process's input", pid, v))
 			return true
 		}
@@ -254,7 +315,39 @@ func (ch *checker) record(kind ViolationKind, detail string) {
 // explore performs a depth-first traversal of the configuration graph.
 // It returns true if exploration should stop (violation found or budget
 // exhausted).
+//
+// The compact path encodes the visited-set key into the checker's
+// scratch buffer: the grey-check lookup via string(ch.buf) costs no
+// allocation, and the key string is materialized only when the
+// configuration turns out to be new.  The LegacyKeys engine is the
+// original string-key path, kept byte-for-byte so differential tests and
+// benchmarks can pin the pre-optimization baseline.
 func (ch *checker) explore(c *sim.Config) bool {
+	if ch.opts.LegacyKeys {
+		return ch.exploreLegacy(c)
+	}
+	ch.buf = ch.opts.appendExploreKey(&ch.keyer, c, ch.buf[:0])
+	switch ch.visited[string(ch.buf)] {
+	case 1:
+		// Back edge: a cycle of live configurations.
+		ch.rep.Livelock = true
+		return false
+	case 2:
+		return false
+	}
+	if len(ch.visited) >= ch.opts.maxConfigs() {
+		ch.rep.Complete = false
+		return true
+	}
+	key := string(ch.buf) // the single retained copy of this key
+	ch.keyBytes += int64(len(key))
+	ch.visited[key] = 1
+	stop := ch.expand(c)
+	ch.visited[key] = 2
+	return stop
+}
+
+func (ch *checker) exploreLegacy(c *sim.Config) bool {
 	key := ch.opts.exploreKey(c)
 	switch ch.visited[key] {
 	case 1:
@@ -268,13 +361,19 @@ func (ch *checker) explore(c *sim.Config) bool {
 		ch.rep.Complete = false
 		return true
 	}
+	ch.keyBytes += int64(len(key))
 	ch.visited[key] = 1
-	defer func() { ch.visited[key] = 2 }()
+	stop := ch.expand(c)
+	ch.visited[key] = 2
+	return stop
+}
 
+// expand checks c for violations and branches over every scheduler and
+// coin choice, shared by both key engines.
+func (ch *checker) expand(c *sim.Config) bool {
 	if ch.violationAt(c) {
 		return true
 	}
-
 	for pid := 0; pid < c.N(); pid++ {
 		if ch.opts.Crashed(c, pid) {
 			continue // crash-stop: never scheduled again
@@ -299,19 +398,36 @@ func (ch *checker) explore(c *sim.Config) bool {
 }
 
 // step branches into the configuration reached by letting pid take its
-// pending step with the given flip outcome.
+// pending step with the given flip outcome.  The compact engine steps
+// copy-on-write: it mutates c in place and undoes on backtrack, so the
+// whole DFS runs on one configuration instead of cloning per edge.
 func (ch *checker) step(c *sim.Config, pid int, outcome int64) bool {
-	next := c.Clone()
-	ev, err := next.Step(pid, outcome)
+	if ch.opts.LegacyKeys {
+		next := c.Clone()
+		ev, err := next.Step(pid, outcome)
+		if err != nil {
+			// Unreachable for valid protocols; surface as a stuck violation.
+			ch.record(Stuck, fmt.Sprintf("P%d cannot step: %v", pid, err))
+			return true
+		}
+		ch.path = append(ch.path, ev)
+		stop := ch.explore(next)
+		// record copies the path at violation time, so unwinding is always safe.
+		ch.path = ch.path[:len(ch.path)-1]
+		return stop
+	}
+	var u sim.StepUndo
+	ev, err := c.StepInto(pid, outcome, &u)
 	if err != nil {
 		// Unreachable for valid protocols; surface as a stuck violation.
 		ch.record(Stuck, fmt.Sprintf("P%d cannot step: %v", pid, err))
 		return true
 	}
 	ch.path = append(ch.path, ev)
-	stop := ch.explore(next)
+	stop := ch.explore(c)
 	// record copies the path at violation time, so unwinding is always safe.
 	ch.path = ch.path[:len(ch.path)-1]
+	c.UndoStep(&u)
 	return stop
 }
 
@@ -325,6 +441,7 @@ func CheckAllInputs(proto sim.Protocol, n int, opts Options) *Report {
 		return checkAllInputsParallel(proto, n, opts)
 	}
 	agg := &Report{Complete: true, Decisions: make(map[int64]bool)}
+	aggStats := &Stats{Workers: 1}
 	for bits := 0; bits < 1<<n; bits++ {
 		rep := checkSerial(proto, inputVector(bits, n), opts)
 		agg.Configs += rep.Configs
@@ -333,10 +450,15 @@ func CheckAllInputs(proto sim.Protocol, n int, opts Options) *Report {
 		for v := range rep.Decisions {
 			agg.Decisions[v] = true
 		}
+		if rep.Stats != nil {
+			aggStats.KeyBytes += rep.Stats.KeyBytes
+			aggStats.Elapsed += rep.Stats.Elapsed
+		}
 		if rep.Violation != nil {
 			rep.Configs = agg.Configs
 			return rep
 		}
 	}
+	agg.Stats = aggStats
 	return agg
 }

@@ -53,10 +53,13 @@ func TestCASConsensusClean(t *testing.T) {
 }
 
 // TestCASConsensusCleanParallel extends the CAS certificate beyond the
-// serial test's n ≤ 4: the parallel engine checks n = 5 and n = 6 under
-// an explicit budget, fanning the 2^n input vectors out across workers.
+// serial test's n ≤ 4: the parallel engine checks n = 5 through n = 7
+// under an explicit budget, fanning the 2^n input vectors out across
+// workers.  n = 7 became affordable with the compact-key engine and
+// symmetry reduction (identical CAS processes collapse the per-vector
+// space to ~31k canonical configurations across all 2^7 vectors).
 func TestCASConsensusCleanParallel(t *testing.T) {
-	for _, n := range []int{5, 6} {
+	for _, n := range []int{5, 6, 7} {
 		rep := CheckAllInputs(protocol.CASConsensus{}, n, Options{Workers: -1, MaxConfigs: 1 << 22})
 		requireClean(t, rep, "cas-consensus")
 		if rep.Livelock {

@@ -1,0 +1,105 @@
+#!/bin/sh
+# Benchmark pipeline for the exploration engines: runs the
+# BenchmarkExplore* suites in sim, valency, hierarchy, and universal at
+# fixed -benchtime (so runs are comparable), parses the results into
+# BENCH_pr3.json (ns/op, allocs/op, configs/sec, dedup ratio, retained
+# key bytes per benchmark), and compares the optimized engines against
+# the string-key baseline measured in the same run on the same machine:
+# BenchmarkExploreParallel carries an engine dimension (baseline =
+# LegacyKeys, compact = binary keys + copy-on-write stepping, symmetry =
+# compact + identical-process canonicalization), so the acceptance check
+# — >= 2x configs/s or >= 4x fewer allocs/op for some optimized engine
+# at some worker count — never compares across machines or runs.
+#
+# Usage: scripts/bench.sh [output.json]     (default: BENCH_pr3.json)
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_pr3.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+# Fixed per-package bench budgets: the exploration workloads are
+# whole-space runs (one op = one exhaustive check), so 1x is already a
+# deterministic, comparable measurement; the sim/universal micro-benches
+# need iteration counts to rise above timer noise.
+run_bench() {
+	pkg="$1"
+	benchtime="$2"
+	echo "== $pkg (-benchtime=$benchtime)" >&2
+	go test -run=NONE -bench='^BenchmarkExplore' -benchtime="$benchtime" -timeout 20m "$pkg" | tee -a "$raw" >&2
+}
+
+run_bench ./internal/sim 50000x
+run_bench ./internal/valency 1x
+run_bench ./internal/hierarchy 1x
+run_bench ./internal/universal 2000x
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+function jnum(v) { return (v == int(v)) ? sprintf("%d", v) : sprintf("%.6g", v) }
+/^goos: /  { goos = $2 }
+/^goarch: / { goarch = $2 }
+/^cpu: /   { sub(/^cpu: /, ""); cpu = $0 }
+/^pkg: /   { pkg = $2 }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)      # strip the GOMAXPROCS suffix, if any
+	iters = $2
+	m = ""
+	for (i = 3; i + 1 <= NF; i += 2) {
+		val = $(i); unit = $(i + 1)
+		if (m != "") m = m ", "
+		m = m sprintf("\"%s\": %s", unit, jnum(val))
+		metric[name, unit] = val
+	}
+	if (benches != "") benches = benches ",\n"
+	benches = benches sprintf("    {\"name\": \"%s\", \"package\": \"%s\", \"iterations\": %s, \"metrics\": {%s}}",
+		name, pkg, iters, m)
+	order[++nb] = name
+}
+END {
+	printf "{\n"
+	printf "  \"generated\": \"%s\",\n", date
+	printf "  \"host\": {\"goos\": \"%s\", \"goarch\": \"%s\", \"cpu\": \"%s\"},\n", goos, goarch, cpu
+	printf "  \"benchmarks\": [\n%s\n  ],\n", benches
+	# Acceptance: engine=baseline vs engine={compact,symmetry} on
+	# BenchmarkExploreParallel, per worker count, same run.
+	root = "BenchmarkExploreParallel/engine="
+	pass = 0
+	comps = ""
+	for (b = 1; b <= nb; b++) {
+		name = order[b]
+		if (index(name, root "baseline/workers=") != 1) continue
+		w = substr(name, length(root "baseline/workers=") + 1)
+		base_cps = metric[name, "configs/s"]
+		base_allocs = metric[name, "allocs/op"]
+		for (e = 1; e <= 2; e++) {
+			eng = (e == 1) ? "compact" : "symmetry"
+			oname = root eng "/workers=" w
+			if (!((oname, "configs/s") in metric)) continue
+			cps_ratio = (base_cps > 0) ? metric[oname, "configs/s"] / base_cps : 0
+			alloc_ratio = (metric[oname, "allocs/op"] > 0) ? base_allocs / metric[oname, "allocs/op"] : 0
+			ok = (cps_ratio >= 2 || alloc_ratio >= 4) ? "true" : "false"
+			if (ok == "true") pass = 1
+			if (comps != "") comps = comps ",\n"
+			comps = comps sprintf("      {\"engine\": \"%s\", \"workers\": %s, \"configs_per_sec_ratio\": %.3f, \"allocs_per_op_ratio\": %.3f, \"pass\": %s}",
+				eng, w, cps_ratio, alloc_ratio, ok)
+		}
+	}
+	printf "  \"acceptance\": {\n"
+	printf "    \"benchmark\": \"BenchmarkExploreParallel\",\n"
+	printf "    \"workload\": \"counter-walk n=3, mixed inputs, all schedules and coins\",\n"
+	printf "    \"criterion\": \">=2x configs/s or >=4x fewer allocs/op vs engine=baseline, same run\",\n"
+	printf "    \"comparisons\": [\n%s\n    ],\n", comps
+	printf "    \"pass\": %s\n", (pass ? "true" : "false")
+	printf "  }\n"
+	printf "}\n"
+}
+' "$raw" > "$out"
+
+echo "wrote $out"
+if ! grep -q '"pass": true' "$out"; then
+	echo "bench.sh: FAILED acceptance — no optimized engine reached 2x configs/s or 4x fewer allocs/op" >&2
+	exit 1
+fi
+echo "bench.sh: acceptance passed"

@@ -25,5 +25,11 @@ stage="go test (full suite)"
 go test -timeout 20m ./...
 stage="go test -race -short"
 go test -race -short -timeout 10m ./...
+stage="bench smoke"
+# One iteration of every benchmark: keeps the benchmark suites compiling
+# and their invariant checks (clean-verification assertions) honest
+# without paying for a measurement run; scripts/bench.sh does the real
+# measured comparison.
+go test -run=NONE -bench=. -benchtime=1x -timeout 15m ./...
 stage="done"
 echo "check.sh: all stages passed"
