@@ -40,6 +40,7 @@ func run(args []string) error {
 	biv := fs.Bool("bivalence", false, "also run the bivalence analysis on mixed inputs")
 	nosym := fs.Bool("nosym", false, "disable identical-process symmetry reduction")
 	legacy := fs.Bool("legacy", false, "use the legacy string-key engine (baseline; implies -nosym)")
+	jsonOut := fs.Bool("json", false, "emit the verdict as JSON (suppresses -bivalence)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -49,11 +50,33 @@ func run(args []string) error {
 		return err
 	}
 
-	fmt.Printf("model checking %s with n=%d over all schedules and coin outcomes (%d workers)...\n",
-		proto.Name(), *n, *workers)
+	if !*jsonOut {
+		fmt.Printf("model checking %s with n=%d over all schedules and coin outcomes (%d workers)...\n",
+			proto.Name(), *n, *workers)
+	}
 	rep := valency.CheckAllInputs(proto, *n, valency.Options{
 		MaxConfigs: *budget, Workers: *workers, NoSymmetry: *nosym, LegacyKeys: *legacy,
 	})
+	if *jsonOut {
+		j := rep.JSON(map[string]any{
+			"tool":     "modelcheck",
+			"args":     args,
+			"protocol": *name,
+			"n":        *n,
+			"r":        *r,
+			"rounds":   *rounds,
+			"budget":   *budget,
+			"workers":  *workers,
+			"nosym":    *nosym,
+			"legacy":   *legacy,
+		})
+		out, err := j.Encode()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+		return nil
+	}
 	switch {
 	case rep.Violation != nil:
 		fmt.Printf("VIOLATION (%v): %s\n", rep.Violation.Kind, rep.Violation.Detail)
@@ -74,6 +97,10 @@ func run(args []string) error {
 		}
 		fmt.Printf("throughput: %.0f configs/s (%d workers, %v); dedup hit-rate %.1f%%, peak frontier %d, steals %d, key bytes retained %d\n",
 			s.Rate(rep.Configs), s.Workers, s.Elapsed.Round(1e6), 100*hitRate, s.PeakFrontier, s.Steals, s.KeyBytes)
+		if s.Stripes > 0 {
+			fmt.Printf("visited set: %d stripes, %d fingerprint collisions, per-stripe keys min/max %d/%d\n",
+				s.Stripes, s.Collisions, s.MinStripeKeys, s.MaxStripeKeys)
+		}
 	}
 
 	if *biv {

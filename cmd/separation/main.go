@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -40,23 +41,22 @@ type table struct {
 	configs  int
 	keyBytes int64
 	elapsed  time.Duration
+	// facts records every checker invocation as a machine-readable
+	// verdict for the -json output.
+	facts []*valency.JSONReport
 }
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("separation", flag.ContinueOnError)
 	budget := fs.Int("budget", 1<<22, "configuration budget per check")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "parallel exploration workers (1 = serial)")
+	jsonOut := fs.Bool("json", false, "emit the table and every checked verdict as JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	tb := &table{opts: valency.Options{MaxConfigs: *budget, Workers: *workers}}
 
 	const n = 24 // example size for the space column
-
-	fmt.Println("Separation of synchronization primitives (paper §4), computed:")
-	fmt.Println()
-	fmt.Printf("%-14s %-12s %-12s %-26s %-22s\n",
-		"primitive", "historyless", "interfering", "det. consensus (checked)", "randomized space (ours)")
 
 	rows := []struct {
 		typ        object.Type
@@ -71,6 +71,50 @@ func run(args []string) error {
 		{object.FetchIncType{}, tb.detTwoProcess(protocol.NewFetchInc2(), "fetch&inc"), "1 object ([8] route; see docs)"},
 		{object.CASType{}, tb.detCAS(), "1 object (via Herlihy [20])"},
 	}
+	// The facts section re-checks the claims; verdict strings are
+	// computed up front so -json runs the identical set of checks.
+	naive := tb.verdict(protocol.RegisterNaive2{}, 2)
+	tas2, tas3 := tb.verdict(protocol.NewTAS2(), 2), tb.verdict(protocol.NewTAS2(), 3)
+	cas4 := tb.verdict(protocol.CASConsensus{}, 4)
+	walk3 := tb.verdict(protocol.NewCounterWalk(3), 3)
+	packed3 := tb.verdict(protocol.NewPackedFetchAdd(3), 3)
+	regcons := tb.verdict(protocol.NewRegisterConsensus(2, 3), 2)
+
+	if *jsonOut {
+		type jsonRow struct {
+			Primitive   string `json:"primitive"`
+			Historyless bool   `json:"historyless"`
+			Interfering bool   `json:"interfering"`
+			DetPower    string `json:"det_consensus_checked"`
+			Randomized  string `json:"randomized_space"`
+		}
+		out := struct {
+			Rows  []jsonRow             `json:"rows"`
+			Facts []*valency.JSONReport `json:"facts"`
+			Repro map[string]any        `json:"repro"`
+		}{Repro: map[string]any{"tool": "separation", "args": args, "budget": *budget, "workers": *workers}}
+		for _, row := range rows {
+			out.Rows = append(out.Rows, jsonRow{
+				Primitive:   row.typ.Name(),
+				Historyless: object.Historyless(row.typ),
+				Interfering: object.Interfering(row.typ, []int64{-1, 0, 1, 2}),
+				DetPower:    row.detPower,
+				Randomized:  row.randomized,
+			})
+		}
+		out.Facts = tb.facts
+		enc, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(enc))
+		return nil
+	}
+
+	fmt.Println("Separation of synchronization primitives (paper §4), computed:")
+	fmt.Println()
+	fmt.Printf("%-14s %-12s %-12s %-26s %-22s\n",
+		"primitive", "historyless", "interfering", "det. consensus (checked)", "randomized space (ours)")
 	for _, row := range rows {
 		fmt.Printf("%-14s %-12v %-12v %-26s %-22s\n",
 			row.typ.Name(),
@@ -82,15 +126,12 @@ func run(args []string) error {
 
 	fmt.Println()
 	fmt.Println("Checked facts behind the table:")
-	fmt.Printf("  - register-naive-2 (deterministic, registers only): %s\n", tb.verdict(protocol.RegisterNaive2{}, 2))
-	fmt.Printf("  - tas-2 at n=2: %s;  at n=3: %s\n",
-		tb.verdict(protocol.NewTAS2(), 2), tb.verdict(protocol.NewTAS2(), 3))
-	fmt.Printf("  - cas at n=4: %s\n", tb.verdict(protocol.CASConsensus{}, 4))
-	fmt.Printf("  - counter-walk at n=3 (all schedules & coins): %s\n",
-		tb.verdict(protocol.NewCounterWalk(3), 3))
-	fmt.Printf("  - packed-fetch&add at n=3: %s\n", tb.verdict(protocol.NewPackedFetchAdd(3), 3))
-	fmt.Printf("  - register-consensus at n=2 (rounds ≤ 3): %s\n",
-		tb.verdict(protocol.NewRegisterConsensus(2, 3), 2))
+	fmt.Printf("  - register-naive-2 (deterministic, registers only): %s\n", naive)
+	fmt.Printf("  - tas-2 at n=2: %s;  at n=3: %s\n", tas2, tas3)
+	fmt.Printf("  - cas at n=4: %s\n", cas4)
+	fmt.Printf("  - counter-walk at n=3 (all schedules & coins): %s\n", walk3)
+	fmt.Printf("  - packed-fetch&add at n=3: %s\n", packed3)
+	fmt.Printf("  - register-consensus at n=2 (rounds ≤ 3): %s\n", regcons)
 
 	fmt.Println()
 	if tb.elapsed > 0 {
@@ -110,6 +151,12 @@ func (tb *table) check(p sim.Protocol, n int) *valency.Report {
 	if rep.Stats != nil {
 		tb.keyBytes += rep.Stats.KeyBytes
 	}
+	tb.facts = append(tb.facts, rep.JSON(map[string]any{
+		"protocol": p.Name(),
+		"n":        n,
+		"budget":   tb.opts.MaxConfigs,
+		"workers":  tb.opts.Workers,
+	}))
 	return rep
 }
 

@@ -1,0 +1,42 @@
+package dist
+
+import (
+	"testing"
+
+	"randsync/internal/valency"
+)
+
+// BenchmarkExploreDist compares single-process exploration against a
+// loopback-sharded cluster on the same job.  On one machine the cluster
+// measures pure protocol overhead — every frontier configuration rides
+// the wire twice — so configs/op is the honest number to watch, not a
+// speedup; the cluster's win is capacity (memory and cores of several
+// machines), which a loopback benchmark cannot show.
+func BenchmarkExploreDist(b *testing.B) {
+	spec := ProtoSpec{Name: "counter-walk", N: 3}
+	proto, err := Resolve(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := []int64{0, 1, 1}
+
+	b.Run("engine=single", func(b *testing.B) {
+		var configs int
+		for i := 0; i < b.N; i++ {
+			rep := valency.Check(proto, inputs, valency.Options{Workers: -1})
+			configs = rep.Configs
+		}
+		b.ReportMetric(float64(configs), "configs")
+	})
+	b.Run("engine=loopback4", func(b *testing.B) {
+		var configs int
+		for i := 0; i < b.N; i++ {
+			rep, err := Loopback(4, Job{Spec: spec, Inputs: inputs}, Options{Shards: 16})
+			if err != nil {
+				b.Fatal(err)
+			}
+			configs = rep.Configs
+		}
+		b.ReportMetric(float64(configs), "configs")
+	})
+}

@@ -1,0 +1,661 @@
+package dist
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+
+	"randsync/internal/explore"
+	"randsync/internal/sim"
+	"randsync/internal/valency"
+)
+
+// Serve runs the coordinator: it accepts exactly `expect` worker
+// connections from ln, drives the job to completion, and returns the
+// aggregated report.  The report's verdict fields (Complete, Configs,
+// Violation, Decisions, Livelock) equal a serial valency run of the
+// same job; Stats carries the cluster telemetry.
+func Serve(ln net.Listener, expect int, job Job, opts Options) (*valency.Report, error) {
+	if err := opts.validate(job); err != nil {
+		return nil, err
+	}
+	if expect < 1 {
+		return nil, fmt.Errorf("dist: need at least one worker")
+	}
+	co, err := newCoord(job, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer co.closeAll()
+	if err := co.accept(ln, expect); err != nil {
+		return nil, err
+	}
+	return co.run()
+}
+
+// event is one message into the coordinator's single-threaded loop; all
+// mutable coordinator state is owned by that loop, so there is no lock.
+type event struct {
+	worker  int
+	typ     byte
+	payload []byte
+	err     error // non-nil: the worker's connection died
+}
+
+type wconn struct {
+	id       int
+	conn     net.Conn
+	out      chan outFrame
+	flushed  chan struct{} // closed when the writer goroutine exits
+	dead     bool
+	inflight int
+	lastPong time.Time
+}
+
+type outFrame struct {
+	typ     byte
+	payload []byte
+}
+
+type batch struct {
+	id     int64
+	worker int
+	items  []item
+}
+
+// shardMirror is the authoritative visited set of one fingerprint
+// shard: keys in admission order (index = localID) plus the dedup
+// index.  Schedules are kept only while a key's item is still queued or
+// in flight; processed configurations need no replay payload.
+type shardMirror struct {
+	index map[string]int64 // key bytes -> localID
+	keys  []string         // localID -> key (admission order)
+}
+
+// vectorState is the per-input-vector exploration state — everything a
+// checkpoint must capture to resume the vector.
+type vectorState struct {
+	inputs     []int64
+	mirror     []shardMirror
+	queues     [][]item // per shard, awaiting dispatch
+	queuedLen  int
+	edges      []explore.Edge // gid-space edges
+	decisions  map[int64]bool
+	violated   bool
+	incomplete bool
+	generated  int64
+	dedupHits  int64
+	keyBytes   int64
+	remote     int64
+}
+
+type coord struct {
+	job   Job
+	opts  Options
+	proto sim.Protocol
+	S     int
+
+	workers []*wconn
+	events  chan event
+	done    chan struct{} // closed on Serve exit; unblocks reader/writer sends
+
+	vec      *vectorState
+	vecIdx   int // cursor into the AllInputs sweep (0 for single-vector)
+	agg      *valency.Report
+	aggStats valency.Stats
+
+	inflight    map[int64]*batch
+	nextBatch   int64
+	nextPing    uint64
+	owner       []int // shard -> worker id
+	batches     int64
+	recoveries  int64
+	checkpoints int64
+	started     time.Time
+}
+
+func newCoord(job Job, opts Options) (*coord, error) {
+	proto, err := Resolve(job.Spec)
+	if err != nil {
+		return nil, err
+	}
+	co := &coord{
+		job:      job,
+		opts:     opts,
+		proto:    proto,
+		S:        opts.shards(),
+		events:   make(chan event, 256),
+		done:     make(chan struct{}),
+		inflight: make(map[int64]*batch),
+		agg:      &valency.Report{Complete: true, Decisions: make(map[int64]bool)},
+		started:  time.Now(),
+	}
+	return co, nil
+}
+
+func (co *coord) accept(ln net.Listener, expect int) error {
+	for i := 0; i < expect; i++ {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		br := bufio.NewReader(conn)
+		typ, payload, err := readFrame(br)
+		if err != nil || typ != msgHello {
+			conn.Close()
+			return fmt.Errorf("dist: worker %d handshake failed: %v", i, err)
+		}
+		r := &wreader{b: payload}
+		if v := r.uvarint("hello version"); r.err() != nil || v != wireVersion {
+			conn.Close()
+			return fmt.Errorf("dist: worker %d speaks wire version %d, want %d", i, v, wireVersion)
+		}
+		w := &wconn{id: i, conn: conn, out: make(chan outFrame, 64), flushed: make(chan struct{}), lastPong: time.Now()}
+		co.workers = append(co.workers, w)
+		go co.reader(w, br)
+		go co.writer(w)
+	}
+	return nil
+}
+
+func (co *coord) reader(w *wconn, br *bufio.Reader) {
+	for {
+		typ, payload, err := readFrame(br)
+		if err != nil {
+			co.post(event{worker: w.id, err: err})
+			return
+		}
+		if !co.post(event{worker: w.id, typ: typ, payload: payload}) {
+			return
+		}
+	}
+}
+
+// post delivers an event to the loop, or reports false after shutdown —
+// late reader/writer goroutines must never block on a loop that exited.
+func (co *coord) post(ev event) bool {
+	select {
+	case co.events <- ev:
+		return true
+	case <-co.done:
+		return false
+	}
+}
+
+func (co *coord) writer(w *wconn) {
+	defer close(w.flushed)
+	bw := bufio.NewWriter(w.conn)
+	for f := range w.out {
+		if err := writeFrame(bw, f.typ, f.payload); err != nil {
+			co.post(event{worker: w.id, err: err})
+			return
+		}
+		if len(w.out) == 0 {
+			if err := bw.Flush(); err != nil {
+				co.post(event{worker: w.id, err: err})
+				return
+			}
+		}
+	}
+	bw.Flush() // queue closed with frames still buffered (shutdown STOP)
+}
+
+func (co *coord) send(w *wconn, typ byte, payload []byte) {
+	if w.dead {
+		return
+	}
+	select {
+	case w.out <- outFrame{typ, payload}:
+	default:
+		// Outbound queue full: the worker has stopped draining.  Treat
+		// as dead rather than block the event loop.
+		co.markDead(w, fmt.Errorf("dist: worker %d outbound queue full", w.id))
+	}
+}
+
+// closeAll tears the cluster down: live workers' outbound queues are
+// closed (the writer goroutine drains the STOP frame and exits) and
+// every connection is closed, unblocking readers.
+func (co *coord) closeAll() {
+	close(co.done)
+	for _, w := range co.workers {
+		if !w.dead {
+			w.dead = true
+			close(w.out)
+			// Let the writer drain the buffered STOP frame before the
+			// connection closes under it, so a healthy worker exits
+			// cleanly instead of reading EOF; a worker that has stopped
+			// draining must not stall coordinator exit.
+			select {
+			case <-w.flushed:
+			case <-time.After(time.Second):
+			}
+		}
+		w.conn.Close()
+	}
+}
+
+func (co *coord) alive() int {
+	n := 0
+	for _, w := range co.workers {
+		if !w.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// assignOwners maps every shard to an alive worker round-robin.
+func (co *coord) assignOwners() {
+	var ids []int
+	for _, w := range co.workers {
+		if !w.dead {
+			ids = append(ids, w.id)
+		}
+	}
+	co.owner = make([]int, co.S)
+	for s := range co.owner {
+		co.owner[s] = ids[s%len(ids)]
+	}
+}
+
+// run drives the whole job: resume-or-start, then one vector at a time
+// in canonical order, aggregating exactly like checkAllInputsParallel.
+func (co *coord) run() (*valency.Report, error) {
+	resumed, err := co.tryResume()
+	if err != nil {
+		return nil, err
+	}
+	co.assignOwners()
+	co.aggStats.Workers = len(co.workers)
+	co.aggStats.Shards = co.S
+
+	vectors := 1
+	if co.job.AllInputs {
+		vectors = 1 << co.job.Spec.N
+	}
+	for ; co.vecIdx < vectors; co.vecIdx++ {
+		if co.vec == nil || !resumed {
+			co.vec = newVectorState(co.vectorInputs(co.vecIdx), co.S)
+			co.seedInitial()
+		}
+		resumed = false
+		rep, err := co.runVector()
+		if err != nil {
+			return nil, err
+		}
+		if done := co.foldVector(rep); done != nil {
+			co.stop()
+			co.removeCheckpoint()
+			return done, nil
+		}
+	}
+	co.stop()
+	co.removeCheckpoint()
+	co.finalizeStats()
+	co.agg.Stats = &co.aggStats
+	if !co.job.AllInputs {
+		co.agg.Inputs = append([]int64(nil), co.job.Inputs...)
+	}
+	return co.agg, nil
+}
+
+func (co *coord) vectorInputs(i int) []int64 {
+	if !co.job.AllInputs {
+		return append([]int64(nil), co.job.Inputs...)
+	}
+	inputs := make([]int64, co.job.Spec.N)
+	for p := range inputs {
+		inputs[p] = int64((i >> p) & 1)
+	}
+	return inputs
+}
+
+func newVectorState(inputs []int64, S int) *vectorState {
+	v := &vectorState{
+		inputs:    inputs,
+		mirror:    make([]shardMirror, S),
+		queues:    make([][]item, S),
+		decisions: make(map[int64]bool),
+	}
+	for s := range v.mirror {
+		v.mirror[s].index = make(map[string]int64)
+	}
+	return v
+}
+
+// seedInitial admits the initial configuration into the mirror and
+// queues it as the first frontier item.
+func (co *coord) seedInitial() {
+	c := sim.NewConfig(co.proto, co.vec.inputs)
+	var k sim.Keyer
+	k.Symmetry = co.opts.Valency.SymmetryOn()
+	key := co.opts.Valency.AppendVisitKey(&k, c, nil)
+	gid, _, _ := co.admit(key)
+	co.enqueue(item{gid: gid, sched: nil})
+}
+
+// admit dedups a visit key against the mirror; on a miss it assigns the
+// key's gid.  Returns (gid, added, totalKeys-after).
+func (co *coord) admit(key []byte) (int64, bool, int64) {
+	fp := sim.FingerprintBytes(key)
+	s := int(fp % uint64(co.S))
+	m := &co.vec.mirror[s]
+	if id, ok := m.index[string(key)]; ok {
+		co.vec.dedupHits++
+		return gidOf(id, s, co.S), false, co.totalKeys()
+	}
+	local := int64(len(m.keys))
+	ks := string(key)
+	m.keys = append(m.keys, ks)
+	m.index[ks] = local
+	co.vec.keyBytes += int64(len(key))
+	return gidOf(local, s, co.S), true, co.totalKeys()
+}
+
+func (co *coord) totalKeys() int64 {
+	var n int64
+	for s := range co.vec.mirror {
+		n += int64(len(co.vec.mirror[s].keys))
+	}
+	return n
+}
+
+func (co *coord) enqueue(it item) {
+	s := gidShard(it.gid, co.S)
+	co.vec.queues[s] = append(co.vec.queues[s], it)
+	co.vec.queuedLen++
+}
+
+// runVector processes one input vector to quiescence and returns its
+// per-vector report (violation field nil even when violated — the
+// caller re-runs serially for the canonical counterexample).
+func (co *coord) runVector() (*valency.Report, error) {
+	jm := jobMsg{
+		Spec:       co.job.Spec,
+		Inputs:     co.vec.inputs,
+		NoSymmetry: co.opts.Valency.NoSymmetry,
+		Crash:      co.opts.Valency.Crash,
+		Workers:    co.opts.Valency.Workers,
+		Shards:     co.S,
+	}
+	for _, w := range co.workers {
+		co.send(w, msgJob, jm.encode())
+	}
+
+	ticker := time.NewTicker(co.opts.heartbeatEvery())
+	defer ticker.Stop()
+
+	co.pump()
+	for !co.quiescent() {
+		select {
+		case ev := <-co.events:
+			if ev.err != nil {
+				co.markDead(co.workers[ev.worker], ev.err)
+				if co.alive() == 0 {
+					co.checkpointNow()
+					return nil, ErrAllWorkersLost
+				}
+			} else if err := co.handle(ev); err != nil {
+				return nil, err
+			}
+			if co.opts.AbortAfterBatches > 0 && co.batches >= co.opts.AbortAfterBatches {
+				co.checkpointNow()
+				return nil, ErrAborted
+			}
+			if co.vec.violated {
+				return co.vectorReport(), nil
+			}
+		case <-ticker.C:
+			co.heartbeat()
+			if co.alive() == 0 {
+				co.checkpointNow()
+				return nil, ErrAllWorkersLost
+			}
+		}
+		co.pump()
+	}
+	return co.vectorReport(), nil
+}
+
+func (co *coord) quiescent() bool {
+	return co.vec.queuedLen == 0 && len(co.inflight) == 0
+}
+
+func (co *coord) handle(ev event) error {
+	w := co.workers[ev.worker]
+	switch ev.typ {
+	case msgPong:
+		w.lastPong = time.Now()
+	case msgDone:
+		dm, err := decodeDone(ev.payload)
+		if err != nil {
+			return err
+		}
+		b, ok := co.inflight[dm.ID]
+		if !ok || b.worker != ev.worker {
+			// A batch re-dispatched after a presumed-dead worker's late
+			// ack: the effects are idempotent, but only the current
+			// assignee's ack retires the batch.
+			return nil
+		}
+		delete(co.inflight, dm.ID)
+		w.inflight--
+		co.batches++
+		co.applyDone(dm)
+		if p := co.opts.CheckpointPath; p != "" && co.batches%co.opts.checkpointEvery() == 0 {
+			co.checkpointNow()
+		}
+	default:
+		return fmt.Errorf("dist: unexpected frame type %d from worker %d", ev.typ, ev.worker)
+	}
+	return nil
+}
+
+// applyDone folds one batch's atomic effect set into the vector state:
+// union decisions, record every emit's edge, admit the new keys, queue
+// admitted items (unless the budget is spent).
+func (co *coord) applyDone(dm doneMsg) {
+	v := co.vec
+	v.generated += dm.Generated
+	if dm.Violated {
+		v.violated = true
+		return
+	}
+	for _, d := range dm.Decisions {
+		v.decisions[d] = true
+	}
+	budget := int64(co.opts.Valency.Budget())
+	for _, e := range dm.Emits {
+		gid, added, total := co.admit(e.key)
+		v.edges = append(v.edges, explore.Edge{From: e.from, To: gid})
+		if !added {
+			continue
+		}
+		if total > budget {
+			v.incomplete = true
+			continue
+		}
+		v.remote++
+		co.enqueue(item{gid: gid, sched: e.sched})
+	}
+}
+
+// pump dispatches queued items to shard owners, respecting the
+// per-worker in-flight cap.
+func (co *coord) pump() {
+	if co.vec == nil || co.vec.violated {
+		return
+	}
+	maxIn := co.opts.maxInflight()
+	size := co.opts.batchSize()
+	for s := 0; s < co.S; s++ {
+		q := co.vec.queues[s]
+		for len(q) > 0 {
+			w := co.workers[co.owner[s]]
+			if w.dead || w.inflight >= maxIn {
+				break
+			}
+			n := len(q)
+			if n > size {
+				n = size
+			}
+			co.nextBatch++
+			b := &batch{id: co.nextBatch, worker: w.id, items: q[:n:n]}
+			q = q[n:]
+			co.vec.queuedLen -= n
+			co.inflight[b.id] = b
+			w.inflight++
+			co.send(w, msgBatch, batchMsg{ID: b.id, Items: b.items}.encode())
+		}
+		co.vec.queues[s] = q
+	}
+}
+
+// markDead declares a worker lost: its in-flight batches are re-queued
+// (their effects were never applied — BATCH_DONE is atomic, so nothing
+// partial leaked) and its shards are reassigned to survivors.
+func (co *coord) markDead(w *wconn, cause error) {
+	if w.dead {
+		return
+	}
+	w.dead = true
+	w.conn.Close()
+	close(w.out)
+	co.recoveries++
+	for id, b := range co.inflight {
+		if b.worker != w.id {
+			continue
+		}
+		delete(co.inflight, id)
+		for _, it := range b.items {
+			co.enqueue(it)
+		}
+	}
+	if co.alive() > 0 {
+		co.assignOwners()
+	}
+	_ = cause // deaths are expected events, not errors; cause aids debugging
+}
+
+func (co *coord) heartbeat() {
+	deadline := time.Now().Add(-co.opts.deadAfter())
+	for _, w := range co.workers {
+		if w.dead {
+			continue
+		}
+		if w.lastPong.Before(deadline) {
+			co.markDead(w, fmt.Errorf("dist: worker %d heartbeat timeout", w.id))
+			continue
+		}
+		co.nextPing++
+		co.send(w, msgPing, putUvarint(nil, co.nextPing))
+	}
+}
+
+// vectorReport summarizes the finished (or violated) vector.  Livelock
+// runs HasCycle over the dense-remapped edge set, mirroring the
+// parallel engine's post-pass.
+func (co *coord) vectorReport() *valency.Report {
+	v := co.vec
+	rep := &valency.Report{
+		Inputs:    append([]int64(nil), v.inputs...),
+		Complete:  !v.incomplete && !v.violated,
+		Configs:   int(co.totalKeys()),
+		Decisions: v.decisions,
+	}
+	if !v.violated {
+		rep.Livelock = explore.HasCycle(int(co.totalKeys()), co.denseEdges())
+	}
+	return rep
+}
+
+// denseEdges remaps gid-space edges (localID·S + shard, sparse across
+// shards) onto the dense [0, totalKeys) node space HasCycle wants.
+func (co *coord) denseEdges() []explore.Edge {
+	offset := make([]int64, co.S)
+	var total int64
+	for s := 0; s < co.S; s++ {
+		offset[s] = total
+		total += int64(len(co.vec.mirror[s].keys))
+	}
+	dense := make([]explore.Edge, len(co.vec.edges))
+	for i, e := range co.vec.edges {
+		dense[i] = explore.Edge{
+			From: offset[gidShard(e.From, co.S)] + gidLocal(e.From, co.S),
+			To:   offset[gidShard(e.To, co.S)] + gidLocal(e.To, co.S),
+		}
+	}
+	return dense
+}
+
+// foldVector merges one vector's report into the aggregate.  On a
+// violated vector it discards the distributed result and re-runs the
+// canonical serial checker for that vector, so the reported
+// counterexample is byte-identical to a serial run's; it returns the
+// final report when the job is decided early, nil to continue.
+func (co *coord) foldVector(rep *valency.Report) *valency.Report {
+	if co.vec.violated {
+		serial := co.opts.Valency
+		serial.Workers = 0
+		srep := valency.Check(co.proto, co.vec.inputs, serial)
+		srep.Configs += co.agg.Configs
+		co.finalizeStats()
+		srep.Stats = &co.aggStats
+		return srep
+	}
+	co.agg.Configs += rep.Configs
+	co.agg.Complete = co.agg.Complete && rep.Complete
+	co.agg.Livelock = co.agg.Livelock || rep.Livelock
+	for d := range rep.Decisions {
+		co.agg.Decisions[d] = true
+	}
+	co.harvestVectorStats()
+	return nil
+}
+
+// harvestVectorStats folds the finished vector's counters into the
+// aggregate Stats and computes the shard census.
+func (co *coord) harvestVectorStats() {
+	v := co.vec
+	co.aggStats.Generated += v.generated
+	co.aggStats.DedupHits += v.dedupHits
+	co.aggStats.KeyBytes += v.keyBytes
+	co.aggStats.RemoteItems += v.remote
+	minK, maxK := int64(-1), int64(0)
+	for s := range v.mirror {
+		n := int64(len(v.mirror[s].keys))
+		if minK < 0 || n < minK {
+			minK = n
+		}
+		if n > maxK {
+			maxK = n
+		}
+	}
+	if minK < 0 {
+		minK = 0
+	}
+	if co.aggStats.MinStripeKeys == 0 || minK < co.aggStats.MinStripeKeys {
+		co.aggStats.MinStripeKeys = minK
+	}
+	if maxK > co.aggStats.MaxStripeKeys {
+		co.aggStats.MaxStripeKeys = maxK
+	}
+}
+
+func (co *coord) finalizeStats() {
+	co.aggStats.Stripes = co.S
+	co.aggStats.Batches = co.batches
+	co.aggStats.Recoveries = co.recoveries
+	co.aggStats.Checkpoints = co.checkpoints
+	co.aggStats.Elapsed = time.Since(co.started)
+}
+
+// stop tells every live worker the job is over.  Send errors at this
+// point are harmless — the job is already decided.
+func (co *coord) stop() {
+	for _, w := range co.workers {
+		co.send(w, msgStop, nil)
+	}
+}

@@ -1,0 +1,60 @@
+package dist
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"randsync/internal/valency"
+)
+
+// Loopback runs a whole cluster — coordinator plus `workers` worker
+// loops — inside one process over 127.0.0.1 TCP, exercising the real
+// wire protocol end to end.  It is the single-binary mode behind
+// `distcheck -loopback N`, the differential-test harness, and the only
+// mode that works on an air-gapped single machine.
+//
+// hooks[i], when present and non-nil, is installed as worker i's batch
+// hook (WorkerOptions.Hook); a hook that panics kills only that worker
+// goroutine — its connection closes and the coordinator's recovery
+// path takes over, which is exactly how the fault-injection tests
+// murder a worker mid-run.
+func Loopback(workers int, job Job, opts Options, hooks ...func(batchID int64)) (*valency.Report, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("dist: loopback needs at least one worker")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer ln.Close()
+	addr := ln.Addr().String()
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		var hook func(int64)
+		if i < len(hooks) {
+			hook = hooks[i]
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// A panicking hook must kill the worker, not the process:
+			// Work's deferred conn.Close runs on the way out, which is
+			// what the coordinator observes as the worker's death.
+			defer func() { _ = recover() }()
+			// Worker errors are not the test's verdict: a worker killed
+			// by Stop or by coordinator shutdown errors out by design.
+			_ = Work(addr, WorkerOptions{Hook: hook})
+		}()
+	}
+
+	rep, err := Serve(ln, workers, job, opts)
+	// Serve's exit closes every accepted connection; closing the
+	// listener also resets workers Serve never accepted (it can fail
+	// validation before accepting anyone).  Only then is it safe to
+	// wait for the worker loops to drain.
+	ln.Close()
+	wg.Wait()
+	return rep, err
+}

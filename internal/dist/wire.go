@@ -1,0 +1,304 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"randsync/internal/sim"
+)
+
+// Wire format: length-prefixed binary frames over TCP.  A frame is
+//
+//	[4B big-endian length][1B type][payload][8B FNV-1a of type+payload]
+//
+// where length counts everything after itself.  Payloads are varints
+// and uvarint-length-prefixed byte strings — the same primitives as the
+// compact configuration encoding, and keys travel as the verbatim
+// AppendVisitKey bytes, so the visited-set encoding IS the wire
+// encoding.  The trailing fingerprint (sim.FingerprintBytes, the same
+// hash that shards the visited set) rejects torn or corrupted frames
+// before they can poison the mirror.
+
+const (
+	msgHello byte = iota + 1 // worker→coord: wire version
+	msgJob                   // coord→worker: job + current input vector
+	msgBatch                 // coord→worker: frontier items to process
+	msgDone                  // worker→coord: atomic effects of one batch
+	msgPing                  // coord→worker: liveness probe
+	msgPong                  // worker→coord: probe echo
+	msgStop                  // coord→worker: job finished, disconnect
+)
+
+const wireVersion = 1
+
+// maxFrame bounds a frame so a corrupted length prefix cannot allocate
+// unboundedly.  Emit-heavy DONE frames dominate; 1<<26 (64 MiB) is far
+// above any batch the default BatchSize can produce.
+const maxFrame = 1 << 26
+
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	buf := make([]byte, 0, 4+1+len(payload)+8)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(1+len(payload)+8))
+	buf = append(buf, typ)
+	buf = append(buf, payload...)
+	buf = binary.BigEndian.AppendUint64(buf, sim.FingerprintBytes(buf[4:]))
+	_, err := w.Write(buf)
+	return err
+}
+
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < 9 || n > maxFrame {
+		return 0, nil, fmt.Errorf("dist: frame length %d out of range", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	sum := binary.BigEndian.Uint64(body[n-8:])
+	body = body[:n-8]
+	if sim.FingerprintBytes(body) != sum {
+		return 0, nil, fmt.Errorf("dist: frame checksum mismatch")
+	}
+	return body[0], body[1:], nil
+}
+
+// --- payload primitives ---
+
+func putUvarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+func putVarint(b []byte, v int64) []byte   { return binary.AppendVarint(b, v) }
+
+func putBytes(b, s []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func putString(b []byte, s string) []byte { return putBytes(b, []byte(s)) }
+
+// wreader decodes a payload with sticky-error semantics: after any
+// decode failure every further read returns zero values and err() holds
+// the first failure, so message decoders read straight through and
+// check once.
+type wreader struct {
+	b    []byte
+	fail error
+}
+
+func (r *wreader) seterr(what string) {
+	if r.fail == nil {
+		r.fail = fmt.Errorf("dist: truncated %s in frame", what)
+	}
+}
+
+func (r *wreader) uvarint(what string) uint64 {
+	if r.fail != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		r.seterr(what)
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *wreader) varint(what string) int64 {
+	if r.fail != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b)
+	if n <= 0 {
+		r.seterr(what)
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *wreader) bytes(what string) []byte {
+	n := r.uvarint(what)
+	if r.fail != nil {
+		return nil
+	}
+	if uint64(len(r.b)) < n {
+		r.seterr(what)
+		return nil
+	}
+	s := r.b[:n:n]
+	r.b = r.b[n:]
+	return s
+}
+
+func (r *wreader) str(what string) string { return string(r.bytes(what)) }
+
+func (r *wreader) err() error {
+	if r.fail != nil {
+		return r.fail
+	}
+	if len(r.b) != 0 {
+		return fmt.Errorf("dist: %d trailing bytes in frame", len(r.b))
+	}
+	return nil
+}
+
+// --- messages ---
+
+// jobMsg carries everything a worker needs to check one input vector.
+type jobMsg struct {
+	Spec       ProtoSpec
+	Inputs     []int64
+	NoSymmetry bool
+	Crash      []int
+	Workers    int // worker-local pool width
+	Shards     int
+}
+
+func (m jobMsg) encode() []byte {
+	b := putString(nil, m.Spec.Name)
+	b = putUvarint(b, uint64(m.Spec.N))
+	b = putUvarint(b, uint64(m.Spec.R))
+	b = putVarint(b, m.Spec.Rounds)
+	b = putUvarint(b, m.Spec.Seed)
+	b = putUvarint(b, uint64(len(m.Inputs)))
+	for _, v := range m.Inputs {
+		b = putVarint(b, v)
+	}
+	flags := uint64(0)
+	if m.NoSymmetry {
+		flags |= 1
+	}
+	b = putUvarint(b, flags)
+	b = putUvarint(b, uint64(len(m.Crash)))
+	for _, v := range m.Crash {
+		b = putVarint(b, int64(v))
+	}
+	b = putUvarint(b, uint64(m.Workers))
+	b = putUvarint(b, uint64(m.Shards))
+	return b
+}
+
+func decodeJob(p []byte) (jobMsg, error) {
+	r := &wreader{b: p}
+	var m jobMsg
+	m.Spec.Name = r.str("spec name")
+	m.Spec.N = int(r.uvarint("spec n"))
+	m.Spec.R = int(r.uvarint("spec r"))
+	m.Spec.Rounds = r.varint("spec rounds")
+	m.Spec.Seed = r.uvarint("spec seed")
+	ni := r.uvarint("inputs len")
+	for i := uint64(0); i < ni && r.fail == nil; i++ {
+		m.Inputs = append(m.Inputs, r.varint("input"))
+	}
+	flags := r.uvarint("flags")
+	m.NoSymmetry = flags&1 != 0
+	nc := r.uvarint("crash len")
+	for i := uint64(0); i < nc && r.fail == nil; i++ {
+		m.Crash = append(m.Crash, int(r.varint("crash")))
+	}
+	m.Workers = int(r.uvarint("workers"))
+	m.Shards = int(r.uvarint("shards"))
+	return m, r.err()
+}
+
+// item is one frontier configuration: its global id and the schedule
+// that rebuilds it from the initial configuration.
+type item struct {
+	gid   int64
+	sched []byte
+}
+
+// batchMsg dispatches frontier items to a worker.
+type batchMsg struct {
+	ID    int64
+	Items []item
+}
+
+func (m batchMsg) encode() []byte {
+	b := putUvarint(nil, uint64(m.ID))
+	b = putUvarint(b, uint64(len(m.Items)))
+	for _, it := range m.Items {
+		b = putUvarint(b, uint64(it.gid))
+		b = putBytes(b, it.sched)
+	}
+	return b
+}
+
+func decodeBatch(p []byte) (batchMsg, error) {
+	r := &wreader{b: p}
+	var m batchMsg
+	m.ID = int64(r.uvarint("batch id"))
+	n := r.uvarint("batch len")
+	for i := uint64(0); i < n && r.fail == nil; i++ {
+		m.Items = append(m.Items, item{
+			gid:   int64(r.uvarint("item gid")),
+			sched: r.bytes("item sched"),
+		})
+	}
+	return m, r.err()
+}
+
+// emit is one generated successor shipped back to the coordinator: the
+// configuration-graph edge source, the successor's visit key (dedup
+// identity), and its schedule (frontier payload if admitted).
+type emit struct {
+	from  int64
+	key   []byte
+	sched []byte
+}
+
+// doneMsg is the atomic effect set of one processed batch.
+type doneMsg struct {
+	ID        int64
+	Generated int64
+	Violated  bool
+	Decisions []int64
+	Emits     []emit
+}
+
+func (m doneMsg) encode() []byte {
+	b := putUvarint(nil, uint64(m.ID))
+	b = putUvarint(b, uint64(m.Generated))
+	v := uint64(0)
+	if m.Violated {
+		v = 1
+	}
+	b = putUvarint(b, v)
+	b = putUvarint(b, uint64(len(m.Decisions)))
+	for _, d := range m.Decisions {
+		b = putVarint(b, d)
+	}
+	b = putUvarint(b, uint64(len(m.Emits)))
+	for _, e := range m.Emits {
+		b = putUvarint(b, uint64(e.from))
+		b = putBytes(b, e.key)
+		b = putBytes(b, e.sched)
+	}
+	return b
+}
+
+func decodeDone(p []byte) (doneMsg, error) {
+	r := &wreader{b: p}
+	var m doneMsg
+	m.ID = int64(r.uvarint("done id"))
+	m.Generated = int64(r.uvarint("done generated"))
+	m.Violated = r.uvarint("done violated") != 0
+	nd := r.uvarint("done decisions")
+	for i := uint64(0); i < nd && r.fail == nil; i++ {
+		m.Decisions = append(m.Decisions, r.varint("decision"))
+	}
+	ne := r.uvarint("done emits")
+	for i := uint64(0); i < ne && r.fail == nil; i++ {
+		m.Emits = append(m.Emits, emit{
+			from:  int64(r.uvarint("emit from")),
+			key:   r.bytes("emit key"),
+			sched: r.bytes("emit sched"),
+		})
+	}
+	return m, r.err()
+}

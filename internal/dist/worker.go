@@ -1,0 +1,237 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"net"
+	"runtime"
+	"sort"
+	"sync/atomic"
+
+	"randsync/internal/explore"
+	"randsync/internal/sim"
+	"randsync/internal/valency"
+)
+
+// WorkerOptions configure one worker process.
+type WorkerOptions struct {
+	// Hook, when non-nil, runs at the start of every received batch
+	// (argument: batch id).  It is the fault-injection seam: a hook
+	// that panics kills the worker mid-batch with its effects unsent,
+	// exactly the failure the recovery protocol must absorb.
+	Hook func(batchID int64)
+}
+
+// Work connects to the coordinator at addr and processes batches until
+// the coordinator sends STOP (returns nil) or the connection dies
+// (returns the error).  A worker is stateless between batches: all
+// authority lives in the coordinator, so a worker crash at any point
+// loses only unacknowledged work.
+func Work(addr string, opts WorkerOptions) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	return serveWorker(conn, opts)
+}
+
+// serveWorker runs the worker protocol over an established connection.
+func serveWorker(conn net.Conn, opts WorkerOptions) error {
+	bw := bufio.NewWriter(conn)
+	if err := writeFrame(bw, msgHello, putUvarint(nil, wireVersion)); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	br := bufio.NewReader(conn)
+
+	var st *workerState
+	for {
+		typ, payload, err := readFrame(br)
+		if err != nil {
+			return err
+		}
+		switch typ {
+		case msgJob:
+			jm, err := decodeJob(payload)
+			if err != nil {
+				return err
+			}
+			st, err = newWorkerState(jm)
+			if err != nil {
+				return err
+			}
+		case msgBatch:
+			if st == nil {
+				return fmt.Errorf("dist: batch before job")
+			}
+			bm, err := decodeBatch(payload)
+			if err != nil {
+				return err
+			}
+			if opts.Hook != nil {
+				opts.Hook(bm.ID)
+			}
+			done, err := st.process(bm)
+			if err != nil {
+				return err
+			}
+			if err := writeFrame(bw, msgDone, done.encode()); err != nil {
+				return err
+			}
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+		case msgPing:
+			if err := writeFrame(bw, msgPong, payload); err != nil {
+				return err
+			}
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+		case msgStop:
+			return nil
+		default:
+			return fmt.Errorf("dist: unexpected frame type %d", typ)
+		}
+	}
+}
+
+// workerState is the per-input-vector replay context.
+type workerState struct {
+	proto  sim.Protocol
+	inputs []int64
+	vopts  valency.Options
+	valid  map[int64]bool
+	pool   int
+}
+
+func newWorkerState(jm jobMsg) (*workerState, error) {
+	proto, err := Resolve(jm.Spec)
+	if err != nil {
+		return nil, err
+	}
+	st := &workerState{
+		proto:  proto,
+		inputs: jm.Inputs,
+		vopts: valency.Options{
+			NoSymmetry: jm.NoSymmetry,
+			Crash:      jm.Crash,
+		},
+		valid: make(map[int64]bool, len(jm.Inputs)),
+		pool:  jm.Workers,
+	}
+	if st.pool < 1 {
+		st.pool = runtime.GOMAXPROCS(0)
+	}
+	for _, in := range jm.Inputs {
+		st.valid[in] = true
+	}
+	return st, nil
+}
+
+// wslot is one pool worker's private effect buffer; merged after the
+// pool drains so slots never contend.
+type wslot struct {
+	keyer     sim.Keyer
+	buf       []byte
+	emits     []emit
+	decisions map[int64]bool
+	generated int64
+}
+
+// process replays, safety-checks and expands every item of a batch and
+// returns the batch's atomic effect set.  Items fan out across the
+// worker's local explore pool; the frontier does not grow locally —
+// every successor is an emit, and admission is the coordinator's call.
+func (st *workerState) process(bm batchMsg) (doneMsg, error) {
+	slots := make([]wslot, st.pool)
+	for i := range slots {
+		slots[i].decisions = make(map[int64]bool)
+		slots[i].keyer.Symmetry = st.vopts.SymmetryOn()
+	}
+	var violated atomic.Bool
+	var firstErr atomic.Value
+
+	explore.Run(st.pool, bm.Items, func(it item, ctx *explore.Ctx[item]) {
+		w := &slots[ctx.Worker()]
+		c := sim.NewConfig(st.proto, st.inputs)
+		if err := c.ReplaySchedule(it.sched); err != nil {
+			firstErr.CompareAndSwap(nil, fmt.Errorf("dist: item %d: %w", it.gid, err))
+			ctx.Stop()
+			return
+		}
+		if valency.Unsafe(c, st.vopts, st.valid, w.decisions) {
+			violated.Store(true)
+			ctx.Stop()
+			return
+		}
+		for pid := 0; pid < c.N(); pid++ {
+			if st.vopts.Crashed(c, pid) {
+				continue
+			}
+			a := c.Pending(pid)
+			if a.Kind == sim.ActHalt {
+				continue
+			}
+			outcomes := int64(1)
+			if a.Kind == sim.ActFlip {
+				outcomes = a.Sides
+			}
+			for o := int64(0); o < outcomes; o++ {
+				var u sim.StepUndo
+				if _, err := c.StepInto(pid, o, &u); err != nil {
+					// The serial checker reports this as Stuck; defer.
+					violated.Store(true)
+					ctx.Stop()
+					return
+				}
+				w.generated++
+				w.buf = st.vopts.AppendVisitKey(&w.keyer, c, w.buf[:0])
+				sched := sim.AppendScheduleStep(append([]byte(nil), it.sched...), pid, o)
+				w.emits = append(w.emits, emit{
+					from:  it.gid,
+					key:   append([]byte(nil), w.buf...),
+					sched: sched,
+				})
+				c.UndoStep(&u)
+			}
+		}
+	})
+
+	if err, _ := firstErr.Load().(error); err != nil {
+		return doneMsg{}, err
+	}
+	done := doneMsg{ID: bm.ID, Violated: violated.Load()}
+	decs := make(map[int64]bool)
+	for i := range slots {
+		done.Generated += slots[i].generated
+		done.Emits = append(done.Emits, slots[i].emits...)
+		for v := range slots[i].decisions {
+			decs[v] = true
+		}
+	}
+	for v := range decs {
+		done.Decisions = append(done.Decisions, v)
+	}
+	sort.Slice(done.Decisions, func(a, b int) bool { return done.Decisions[a] < done.Decisions[b] })
+	return done, nil
+}
+
+// verifyKey is used by tests to assert replay integrity directly.
+func (st *workerState) verifyKey(it item, want []byte) error {
+	c := sim.NewConfig(st.proto, st.inputs)
+	if err := c.ReplaySchedule(it.sched); err != nil {
+		return err
+	}
+	var k sim.Keyer
+	k.Symmetry = st.vopts.SymmetryOn()
+	got := st.vopts.AppendVisitKey(&k, c, nil)
+	if !bytes.Equal(got, want) {
+		return fmt.Errorf("dist: item %d replays to a different visit key", it.gid)
+	}
+	return nil
+}

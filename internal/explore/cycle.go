@@ -1,0 +1,70 @@
+package explore
+
+// Edge is one arc of a configuration graph in dense visited-set ids, as
+// produced by Set.Add.  The parallel valency engine logs edges per worker
+// and the distributed coordinator collects them from batch acks; both
+// feed HasCycle for livelock detection.
+type Edge struct{ From, To int64 }
+
+// HasCycle reports whether the graph with n nodes (labelled 0..n-1) and
+// the given arcs contains a cycle — the frontier engines' counterpart of
+// the serial checker's grey/black back-edge detection, run as a post-pass
+// over the in-memory id graph (cheap next to exploration, which pays for
+// cloning and stepping configurations).  Parallel and duplicate arcs are
+// permitted; they cannot change cycle existence.
+func HasCycle(n int, edges []Edge) bool {
+	if n == 0 || len(edges) == 0 {
+		return false
+	}
+	// Counting sort the arcs into compressed adjacency.
+	off := make([]int64, n+1)
+	for _, e := range edges {
+		off[e.From+1]++
+	}
+	for i := 0; i < n; i++ {
+		off[i+1] += off[i]
+	}
+	succ := make([]int64, len(edges))
+	fill := append([]int64(nil), off[:n]...)
+	for _, e := range edges {
+		succ[fill[e.From]] = e.To
+		fill[e.From]++
+	}
+
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make([]uint8, n)
+	type frame struct {
+		node int64
+		ei   int64
+	}
+	var stack []frame
+	for start := 0; start < n; start++ {
+		if color[start] != white {
+			continue
+		}
+		color[start] = grey
+		stack = append(stack[:0], frame{node: int64(start), ei: off[start]})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.ei < off[f.node+1] {
+				next := succ[f.ei]
+				f.ei++
+				switch color[next] {
+				case white:
+					color[next] = grey
+					stack = append(stack, frame{node: next, ei: off[next]})
+				case grey:
+					return true
+				}
+				continue
+			}
+			color[f.node] = black
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return false
+}

@@ -127,3 +127,48 @@ func (s *Set) Bytes() int64 {
 	}
 	return total
 }
+
+// SetStats is a point-in-time census of the set's stripes: how many keys
+// each level of the structure retains and how evenly the fingerprint hash
+// spreads them.  Exploration engines surface it through their Stats so
+// stripe (and, distributed, shard) imbalance is diagnosable from the
+// counter block instead of a profiler.
+type SetStats struct {
+	// Stripes is the number of lock stripes.
+	Stripes int
+	// Keys is the total distinct keys retained (== Len()).
+	Keys int64
+	// Collisions counts keys living in per-stripe overflow maps because a
+	// distinct key already claimed their fingerprint — true 64-bit
+	// fingerprint collisions, expected to be ≈ 0.
+	Collisions int64
+	// Interned is the total interned key bytes retained (== Bytes()).
+	Interned int64
+	// MinStripeKeys and MaxStripeKeys are the smallest and largest
+	// per-stripe key counts — the imbalance envelope of the fingerprint
+	// partition.
+	MinStripeKeys, MaxStripeKeys int64
+}
+
+// Stats walks the stripes and returns the census.  It takes each stripe
+// lock in turn, so concurrent Adds may land between stripes; callers
+// wanting exact totals read after exploration drains.
+func (s *Set) Stats() SetStats {
+	st := SetStats{Stripes: len(s.shards)}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n := int64(len(sh.m) + len(sh.coll))
+		st.Keys += n
+		st.Collisions += int64(len(sh.coll))
+		st.Interned += sh.bytes
+		sh.mu.Unlock()
+		if i == 0 || n < st.MinStripeKeys {
+			st.MinStripeKeys = n
+		}
+		if n > st.MaxStripeKeys {
+			st.MaxStripeKeys = n
+		}
+	}
+	return st
+}

@@ -60,6 +60,11 @@ func (m Machine) Name() string {
 	return fmt.Sprintf("machine(%s,#%d)", m.Type.Name(), m.id)
 }
 
+// ID is the machine's 1-based position in the canonical enumeration of
+// its (Type, freeStates) class — with MachineByID, the machine's wire
+// coordinate.
+func (m Machine) ID() uint64 { return m.id }
+
 // Objects implements sim.Protocol.
 func (m Machine) Objects() []object.Type { return []object.Type{m.Type} }
 
@@ -208,6 +213,15 @@ type Options struct {
 	// Example is reported (the lowest-id solver) — is identical for
 	// every worker count.
 	Workers int
+	// Check, when non-nil, replaces the local exhaustive model check of
+	// each candidate that survives the solo-termination prefilter: it
+	// must report whether the machine solves deterministic wait-free
+	// 2-process consensus (complete exploration, no violation, no
+	// livelock).  This is the distributed-cluster entry point: a
+	// cluster-backed Check routes every model check through
+	// coordinator/worker exploration while the enumeration itself stays
+	// local.  Check must be safe for concurrent use when Workers > 1.
+	Check func(Machine) bool
 }
 
 func (o Options) workers() int {
@@ -300,7 +314,7 @@ func SearchWith(t object.Type, freeStates int, opts Options) (*Result, error) {
 		res := &Result{}
 		enumerateSubtree(t, specs, freeStates, nil, 0, func(m Machine) {
 			res.Enumerated++
-			if solves(m) {
+			if opts.solves(m) {
 				res.Solvers++
 				if res.Example == nil {
 					ex := m
@@ -328,7 +342,7 @@ func SearchWith(t object.Type, freeStates int, opts Options) (*Result, error) {
 		res := &results[ctx.Worker()]
 		enumerateSubtree(t, specs, freeStates, specs[i:i+1], uint64(i)*perSub, func(m Machine) {
 			res.Enumerated++
-			if solves(m) {
+			if opts.solves(m) {
 				res.Solvers++
 				if res.Example == nil || m.id < res.Example.id {
 					ex := m
@@ -350,8 +364,11 @@ func SearchWith(t object.Type, freeStates int, opts Options) (*Result, error) {
 
 // solves reports whether the machine is a correct deterministic wait-free
 // 2-process consensus protocol: over every input vector, exploration is
-// complete with no violation and no livelock.
-func solves(m Machine) bool {
+// complete with no violation and no livelock.  The model check dispatches
+// through Options.Check when set; the cheap local solo-termination
+// prefilter always runs first, so a cluster-backed Check only sees the
+// candidates worth shipping.
+func (o Options) solves(m Machine) bool {
 	// Cheap rejection first: unanimous solo runs must decide the input.
 	for _, input := range []int64{0, 1} {
 		c := sim.NewConfig(m, []int64{input, input})
@@ -360,8 +377,59 @@ func solves(m Machine) bool {
 			return false
 		}
 	}
+	if o.Check != nil {
+		return o.Check(m)
+	}
 	rep := valency.CheckAllInputs(m, 2, valency.Options{MaxConfigs: 1 << 12})
 	return rep.Violation == nil && rep.Complete && !rep.Livelock
+}
+
+// MachineCount returns the size of the enumeration for freeStates free
+// states over one object of type t — the valid MachineByID id range is
+// [1, MachineCount].
+func MachineCount(t object.Type, freeStates int) (uint64, error) {
+	d, err := domainFor(t)
+	if err != nil {
+		return 0, err
+	}
+	specs := buildSpecs(d, freeStates+2)
+	total := uint64(freeStates * freeStates)
+	for k := 0; k < freeStates; k++ {
+		total *= uint64(len(specs))
+	}
+	return total, nil
+}
+
+// MachineByID reconstructs the machine with the given enumeration id —
+// the id is a pure function of the machine's position in the canonical
+// enumeration (ids start at 1), so any process that agrees on (t,
+// freeStates, id) builds the identical machine.  The distributed checker
+// uses this to name enumerated machines in wire-format job specs.
+func MachineByID(t object.Type, freeStates int, id uint64) (Machine, error) {
+	d, err := domainFor(t)
+	if err != nil {
+		return Machine{}, err
+	}
+	total, _ := MachineCount(t, freeStates)
+	if id < 1 || id > total {
+		return Machine{}, fmt.Errorf("hierarchy: machine id %d out of range [1,%d] for %s with %d free states",
+			id, total, t.Name(), freeStates)
+	}
+	specs := buildSpecs(d, freeStates+2)
+	// Decode the enumeration position: s1 varies fastest, then s0, then
+	// the free-state assignment digits with position 0 most significant —
+	// exactly enumerateSubtree's visit order.
+	x := id - 1
+	s1 := int(x % uint64(freeStates))
+	x /= uint64(freeStates)
+	s0 := int(x % uint64(freeStates))
+	x /= uint64(freeStates)
+	free := make([]actionSpec, freeStates)
+	for pos := freeStates - 1; pos >= 0; pos-- {
+		free[pos] = specs[x%uint64(len(specs))]
+		x /= uint64(len(specs))
+	}
+	return Machine{Type: t, Free: free, Start0: s0, Start1: s1, id: id}, nil
 }
 
 // Describe renders a machine's program for display.

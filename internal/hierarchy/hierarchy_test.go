@@ -115,7 +115,7 @@ func TestMachineSemantics(t *testing.T) {
 		Start0: 0,
 		Start1: 1,
 	}
-	if !solves(m) {
+	if !(Options{}).solves(m) {
 		t.Fatal("canonical sticky solver should solve consensus")
 	}
 	rep := valency.CheckAllInputs(m, 2, valency.Options{})

@@ -43,8 +43,8 @@ func FuzzAppendKey(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{13, 37, 42, 99, 1, 1, 1, 1, 200, 150})
 	f.Fuzz(func(t *testing.T, script []byte) {
-		byKey := make(map[string]string)  // legacy key -> compact encoding
-		byEnc := make(map[string]string)  // compact encoding -> legacy key
+		byKey := make(map[string]string) // legacy key -> compact encoding
+		byEnc := make(map[string]string) // compact encoding -> legacy key
 		visit := func(c *Config) {
 			key := c.Key()
 			enc := c.AppendKey(nil)

@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// This file is the wire form of a schedule: the (pid, outcome) choice
+// sequence that, replayed from the initial configuration, reconstructs a
+// reachable configuration.  Steps are deterministic given the scheduler's
+// choices — operation responses are recomputed by the objects, and flip
+// outcomes are themselves choices — so a configuration ships across a
+// process boundary as its choice sequence plus nothing else.  The
+// distributed exploration cluster uses this to exchange frontier
+// configurations between workers, and the checkpoint format uses it to
+// persist a frontier to disk.
+
+// AppendScheduleStep appends one scheduler choice — process pid steps,
+// observing flip outcome `outcome` (0 for non-flip actions) — to a
+// compact varint-encoded schedule.
+func AppendScheduleStep(sched []byte, pid int, outcome int64) []byte {
+	sched = binary.AppendUvarint(sched, uint64(pid))
+	return binary.AppendVarint(sched, outcome)
+}
+
+// ScheduleLen returns the number of steps encoded in sched, or an error
+// if the encoding is truncated.
+func ScheduleLen(sched []byte) (int, error) {
+	steps := 0
+	for len(sched) > 0 {
+		_, n := binary.Uvarint(sched)
+		if n <= 0 {
+			return 0, fmt.Errorf("sim: truncated schedule pid at step %d", steps)
+		}
+		sched = sched[n:]
+		_, n = binary.Varint(sched)
+		if n <= 0 {
+			return 0, fmt.Errorf("sim: truncated schedule outcome at step %d", steps)
+		}
+		sched = sched[n:]
+		steps++
+	}
+	return steps, nil
+}
+
+// ReplaySchedule steps c through the encoded choice sequence, mutating
+// c.  Replaying a schedule recorded from an equal initial configuration
+// reproduces the recorded run exactly; an undecodable byte sequence or an
+// illegal step (halted process, out-of-range outcome) returns an error
+// with c left mid-replay.
+func (c *Config) ReplaySchedule(sched []byte) error {
+	step := 0
+	for len(sched) > 0 {
+		pid, n := binary.Uvarint(sched)
+		if n <= 0 {
+			return fmt.Errorf("sim: truncated schedule pid at step %d", step)
+		}
+		sched = sched[n:]
+		outcome, n := binary.Varint(sched)
+		if n <= 0 {
+			return fmt.Errorf("sim: truncated schedule outcome at step %d", step)
+		}
+		sched = sched[n:]
+		if _, err := c.Step(int(pid), outcome); err != nil {
+			return fmt.Errorf("sim: schedule step %d: %w", step, err)
+		}
+		step++
+	}
+	return nil
+}
+
+// Schedule extracts the choice sequence of an execution: replaying it
+// from the execution's initial configuration reproduces the execution.
+func (x Execution) Schedule() []byte {
+	var sched []byte
+	for _, e := range x {
+		outcome := int64(0)
+		if e.Action.Kind == ActFlip {
+			outcome = e.Result
+		}
+		sched = AppendScheduleStep(sched, e.Pid, outcome)
+	}
+	return sched
+}

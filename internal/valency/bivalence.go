@@ -80,7 +80,7 @@ func Bivalence(proto sim.Protocol, inputs []int64, opts Options) (*BivalenceRepo
 		reach1 bool
 	}
 	nodes := make(map[string]*node)
-	budget := opts.maxConfigs()
+	budget := opts.Budget()
 
 	// Phase 1: materialize the reachable configuration graph.
 	initial := sim.NewConfig(proto, inputs)

@@ -1,0 +1,89 @@
+package valency
+
+import (
+	"encoding/json"
+	"sort"
+
+	"randsync/internal/sim"
+)
+
+// JSONReport is the machine-readable verdict shape shared by the command
+// line tools (`modelcheck -json`, `separation -json`, `distcheck -json`).
+// It is a projection of Report: verdict fields first, then telemetry,
+// then enough reproduction context to re-run the exact check.
+type JSONReport struct {
+	// Verdict is "safe", "violation" or "incomplete".  A violation
+	// dominates incompleteness: a found counterexample is a definitive
+	// verdict even under a truncated exploration.
+	Verdict  string `json:"verdict"`
+	Complete bool   `json:"complete"`
+	Configs  int    `json:"configs"`
+	Livelock bool   `json:"livelock"`
+	// Decisions is the sorted set of decided values over the exploration.
+	Decisions []int64 `json:"decisions"`
+
+	Violation *JSONViolation `json:"violation,omitempty"`
+
+	Stats *Stats `json:"stats,omitempty"`
+
+	// Repro carries the tool-specific invocation context (protocol name,
+	// n, flags, seed) that reproduces this verdict; the tools fill it.
+	Repro map[string]any `json:"repro,omitempty"`
+}
+
+// JSONViolation is the wire form of a counterexample.
+type JSONViolation struct {
+	Kind   string `json:"kind"`
+	Detail string `json:"detail"`
+	Steps  int    `json:"steps"`
+	// Trace is the rendered execution, one line per step.
+	Trace []string `json:"trace"`
+	// Schedule is the hex-free compact choice sequence (base64 via
+	// encoding/json []byte rules) that replays the counterexample from
+	// the initial configuration.
+	Schedule []byte `json:"schedule,omitempty"`
+}
+
+// JSON projects a Report into its machine-readable form.  repro is
+// attached verbatim as the reproduction context.
+func (r *Report) JSON(repro map[string]any) *JSONReport {
+	j := &JSONReport{
+		Verdict:  "safe",
+		Complete: r.Complete,
+		Configs:  r.Configs,
+		Livelock: r.Livelock,
+		Stats:    r.Stats,
+		Repro:    repro,
+	}
+	if !r.Complete {
+		j.Verdict = "incomplete"
+	}
+	for v := range r.Decisions {
+		j.Decisions = append(j.Decisions, v)
+	}
+	sort.Slice(j.Decisions, func(a, b int) bool { return j.Decisions[a] < j.Decisions[b] })
+	if v := r.Violation; v != nil {
+		j.Verdict = "violation"
+		jv := &JSONViolation{
+			Kind:     v.Kind.String(),
+			Detail:   v.Detail,
+			Steps:    len(v.Trace),
+			Schedule: v.Trace.Schedule(),
+		}
+		for _, e := range v.Trace {
+			jv.Trace = append(jv.Trace, renderEvent(e))
+		}
+		j.Violation = jv
+	}
+	return j
+}
+
+// Encode renders the report as indented JSON.
+func (j *JSONReport) Encode() ([]byte, error) {
+	return json.MarshalIndent(j, "", "  ")
+}
+
+// renderEvent formats one execution step the way the tools print traces.
+func renderEvent(e sim.Event) string {
+	return e.String()
+}

@@ -1,0 +1,59 @@
+package valency
+
+import (
+	"encoding/json"
+	"testing"
+
+	"randsync/internal/protocol"
+	"randsync/internal/sim"
+)
+
+// TestReportJSON: the three verdicts project correctly, decisions come
+// out sorted, and a violation carries a schedule that replays to the
+// reported trace length.
+func TestReportJSON(t *testing.T) {
+	safe := Check(protocol.NewCounterWalk(2), []int64{0, 1}, Options{})
+	j := safe.JSON(map[string]any{"protocol": "counter-walk"})
+	if j.Verdict != "safe" || !j.Complete || j.Violation != nil {
+		t.Fatalf("safe projection: %+v", j)
+	}
+	if len(j.Decisions) != 2 || j.Decisions[0] != 0 || j.Decisions[1] != 1 {
+		t.Fatalf("decisions not sorted: %v", j.Decisions)
+	}
+	if j.Repro["protocol"] != "counter-walk" {
+		t.Fatalf("repro lost: %v", j.Repro)
+	}
+
+	truncated := Check(protocol.NewCounterWalk(2), []int64{0, 1}, Options{MaxConfigs: 10})
+	if j := truncated.JSON(nil); j.Verdict != "incomplete" || j.Complete {
+		t.Fatalf("incomplete projection: %+v", j)
+	}
+
+	bad := Check(protocol.NewRegisterFlood(2), []int64{0, 1}, Options{})
+	jv := bad.JSON(nil)
+	if jv.Verdict != "violation" || jv.Violation == nil {
+		t.Fatalf("violation projection: %+v", jv)
+	}
+	if jv.Violation.Kind != bad.Violation.Kind.String() || jv.Violation.Steps != len(bad.Violation.Trace) {
+		t.Fatalf("violation fields: %+v", jv.Violation)
+	}
+	if len(jv.Violation.Trace) != jv.Violation.Steps {
+		t.Fatalf("rendered trace has %d lines, want %d", len(jv.Violation.Trace), jv.Violation.Steps)
+	}
+	if steps, err := sim.ScheduleLen(jv.Violation.Schedule); err != nil || steps != jv.Violation.Steps {
+		t.Fatalf("violation schedule: %d steps, %v", steps, err)
+	}
+
+	// The projection must round-trip through encoding/json.
+	enc, err := jv.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back JSONReport
+	if err := json.Unmarshal(enc, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Verdict != "violation" || back.Violation.Kind != jv.Violation.Kind {
+		t.Fatalf("round trip: %+v", back)
+	}
+}

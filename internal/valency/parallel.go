@@ -14,22 +14,45 @@ import (
 // counts produce the same Report fields but different Stats.
 type Stats struct {
 	// Workers is the number of exploration workers used.
-	Workers int
+	Workers int `json:"workers"`
 	// Generated counts successor configurations computed (clone+step),
 	// including ones the visited set then deduplicated.
-	Generated int64
+	Generated int64 `json:"generated"`
 	// DedupHits counts generated successors that were already visited.
-	DedupHits int64
+	DedupHits int64 `json:"dedup_hits"`
 	// Steals counts work-stealing transfers between workers.
-	Steals int64
+	Steals int64 `json:"steals,omitempty"`
 	// PeakFrontier is the high-water mark of unexplored configurations.
-	PeakFrontier int64
+	PeakFrontier int64 `json:"peak_frontier,omitempty"`
 	// KeyBytes is the total interned visited-set key bytes retained at
 	// the end of exploration — the memory the dedup structure holds, so
 	// encoding regressions surface in the engine counters.
-	KeyBytes int64
+	KeyBytes int64 `json:"key_bytes"`
 	// Elapsed is the wall-clock exploration time.
-	Elapsed time.Duration
+	Elapsed time.Duration `json:"elapsed_ns"`
+
+	// Visited-set census (explore.Set.Stats), zero on the serial engine,
+	// whose visited set is a plain map: Collisions counts true 64-bit
+	// fingerprint collisions kept apart in overflow maps, and
+	// MinStripeKeys/MaxStripeKeys bound the per-stripe key counts — the
+	// imbalance envelope of the fingerprint partition.  The distributed
+	// engine reports the same fields at shard granularity, so cluster
+	// shard-imbalance reads off the same counters.
+	Stripes       int   `json:"stripes,omitempty"`
+	Collisions    int64 `json:"collisions"`
+	MinStripeKeys int64 `json:"min_stripe_keys,omitempty"`
+	MaxStripeKeys int64 `json:"max_stripe_keys,omitempty"`
+
+	// Distributed-engine counters, zero on local runs.  Shards is the
+	// fingerprint-partition width, Batches the number of work batches the
+	// coordinator dispatched and acked, RemoteItems the cross-shard
+	// frontier configurations shipped over the wire, Recoveries the
+	// worker-loss events survived, and Checkpoints the snapshots written.
+	Shards      int   `json:"shards,omitempty"`
+	Batches     int64 `json:"batches,omitempty"`
+	RemoteItems int64 `json:"remote_items,omitempty"`
+	Recoveries  int64 `json:"recoveries,omitempty"`
+	Checkpoints int64 `json:"checkpoints,omitempty"`
 }
 
 // Rate returns configurations per second for the given visited count.
@@ -40,13 +63,10 @@ func (s *Stats) Rate(configs int) float64 {
 	return float64(configs) / s.Elapsed.Seconds()
 }
 
-// edge is one arc of the configuration graph, in dense visited-set ids.
-type edge struct{ from, to int64 }
-
 // pwork is the per-worker private state of a parallel exploration; it is
 // merged after the pool drains, so workers never contend on it.
 type pwork struct {
-	edges     []edge
+	edges     []explore.Edge
 	decisions map[int64]bool
 	generated int64
 	keyer     sim.Keyer
@@ -73,7 +93,7 @@ type ptask struct {
 // stop early under both engines, so the re-run is cheap.
 func checkParallel(proto sim.Protocol, inputs []int64, opts Options) *Report {
 	workers := opts.workers()
-	budget := int64(opts.maxConfigs())
+	budget := int64(opts.Budget())
 
 	valid := make(map[int64]bool, len(inputs))
 	for _, in := range inputs {
@@ -85,7 +105,7 @@ func checkParallel(proto sim.Protocol, inputs []int64, opts Options) *Report {
 	ws := make([]pwork, workers)
 	for i := range ws {
 		ws[i].decisions = make(map[int64]bool)
-		ws[i].keyer.Symmetry = opts.symmetry()
+		ws[i].keyer.Symmetry = opts.SymmetryOn()
 	}
 	var violated, incomplete atomic.Bool
 
@@ -95,14 +115,14 @@ func checkParallel(proto sim.Protocol, inputs []int64, opts Options) *Report {
 		ikey := opts.exploreKey(initial)
 		iid, _ = set.AddString(sim.FingerprintKey(ikey), ikey)
 	} else {
-		ws[0].buf = opts.appendExploreKey(&ws[0].keyer, initial, ws[0].buf[:0])
+		ws[0].buf = opts.AppendVisitKey(&ws[0].keyer, initial, ws[0].buf[:0])
 		iid, _ = set.Add(sim.FingerprintBytes(ws[0].buf), ws[0].buf)
 	}
 
 	stats := explore.Run(workers, []ptask{{cfg: initial, id: iid}}, func(t ptask, ctx *explore.Ctx[ptask]) {
 		w := &ws[ctx.Worker()]
 		c := t.cfg
-		if unsafeConfig(c, opts, valid, w.decisions) {
+		if Unsafe(c, opts, valid, w.decisions) {
 			violated.Store(true)
 			ctx.Stop()
 			return
@@ -133,7 +153,7 @@ func checkParallel(proto sim.Protocol, inputs []int64, opts Options) *Report {
 					w.generated++
 					key := opts.exploreKey(next)
 					id, added = set.AddString(sim.FingerprintKey(key), key)
-					w.edges = append(w.edges, edge{from: t.id, to: id})
+					w.edges = append(w.edges, explore.Edge{From: t.id, To: id})
 					if !added {
 						continue
 					}
@@ -156,9 +176,9 @@ func checkParallel(proto sim.Protocol, inputs []int64, opts Options) *Report {
 					return
 				}
 				w.generated++
-				w.buf = opts.appendExploreKey(&w.keyer, c, w.buf[:0])
+				w.buf = opts.AppendVisitKey(&w.keyer, c, w.buf[:0])
 				id, added = set.Add(sim.FingerprintBytes(w.buf), w.buf)
-				w.edges = append(w.edges, edge{from: t.id, to: id})
+				w.edges = append(w.edges, explore.Edge{From: t.id, To: id})
 				if added {
 					if id >= budget {
 						incomplete.Store(true)
@@ -182,7 +202,7 @@ func checkParallel(proto sim.Protocol, inputs []int64, opts Options) *Report {
 		Complete:  !incomplete.Load(),
 		Configs:   set.Len(),
 	}
-	var edges []edge
+	var edges []explore.Edge
 	var generated int64
 	for i := range ws {
 		edges = append(edges, ws[i].edges...)
@@ -191,24 +211,33 @@ func checkParallel(proto sim.Protocol, inputs []int64, opts Options) *Report {
 			rep.Decisions[v] = true
 		}
 	}
-	rep.Livelock = hasCycle(set.Len(), edges)
+	rep.Livelock = explore.HasCycle(set.Len(), edges)
+	census := set.Stats()
 	rep.Stats = &Stats{
-		Workers:      workers,
-		Generated:    generated,
-		DedupHits:    set.DedupHits(),
-		Steals:       stats.Steals,
-		PeakFrontier: stats.PeakPending,
-		KeyBytes:     set.Bytes(),
-		Elapsed:      stats.Elapsed,
+		Workers:       workers,
+		Generated:     generated,
+		DedupHits:     set.DedupHits(),
+		Steals:        stats.Steals,
+		PeakFrontier:  stats.PeakPending,
+		KeyBytes:      set.Bytes(),
+		Elapsed:       stats.Elapsed,
+		Stripes:       census.Stripes,
+		Collisions:    census.Collisions,
+		MinStripeKeys: census.MinStripeKeys,
+		MaxStripeKeys: census.MaxStripeKeys,
 	}
 	return rep
 }
 
-// unsafeConfig mirrors the serial checker's per-configuration safety scan
+// Unsafe mirrors the serial checker's per-configuration safety scan
 // (violationAt) without trace bookkeeping: it records reachable decisions
 // into dec and reports whether the configuration violates consistency or
-// validity, or contains a stuck surviving process.
-func unsafeConfig(c *sim.Config, opts Options, valid, dec map[int64]bool) bool {
+// validity, or contains a stuck surviving process.  valid is the run's
+// input-value set.  Exported so engine embedders (the parallel engine
+// here, the distributed workers in internal/dist) share one definition
+// of "unsafe"; any engine that sees it return true must defer to the
+// canonical serial checker for the reported violation.
+func Unsafe(c *sim.Config, opts Options, valid, dec map[int64]bool) bool {
 	firstPid, firstVal := -1, int64(0)
 	for pid, d := range c.Decided {
 		if !d {
@@ -226,68 +255,6 @@ func unsafeConfig(c *sim.Config, opts Options, valid, dec map[int64]bool) bool {
 			firstPid, firstVal = pid, v
 		} else if v != firstVal {
 			return true // consistency
-		}
-	}
-	return false
-}
-
-// hasCycle reports whether the configuration graph with n nodes and the
-// given arcs contains a cycle — the parallel counterpart of the serial
-// checker's grey/black back-edge detection, run as a post-pass over the
-// in-memory id graph (cheap next to exploration, which pays for cloning
-// and stepping configurations).
-func hasCycle(n int, edges []edge) bool {
-	if n == 0 || len(edges) == 0 {
-		return false
-	}
-	// Counting sort the arcs into compressed adjacency.
-	off := make([]int64, n+1)
-	for _, e := range edges {
-		off[e.from+1]++
-	}
-	for i := 0; i < n; i++ {
-		off[i+1] += off[i]
-	}
-	succ := make([]int64, len(edges))
-	fill := append([]int64(nil), off[:n]...)
-	for _, e := range edges {
-		succ[fill[e.from]] = e.to
-		fill[e.from]++
-	}
-
-	const (
-		white = 0
-		grey  = 1
-		black = 2
-	)
-	color := make([]uint8, n)
-	type frame struct {
-		node int64
-		ei   int64
-	}
-	var stack []frame
-	for start := 0; start < n; start++ {
-		if color[start] != white {
-			continue
-		}
-		color[start] = grey
-		stack = append(stack[:0], frame{node: int64(start), ei: off[start]})
-		for len(stack) > 0 {
-			f := &stack[len(stack)-1]
-			if f.ei < off[f.node+1] {
-				next := succ[f.ei]
-				f.ei++
-				switch color[next] {
-				case white:
-					color[next] = grey
-					stack = append(stack, frame{node: next, ei: off[next]})
-				case grey:
-					return true
-				}
-				continue
-			}
-			color[f.node] = black
-			stack = stack[:len(stack)-1]
 		}
 	}
 	return false
@@ -342,6 +309,16 @@ func checkAllInputsParallel(proto sim.Protocol, n int, opts Options) *Report {
 			aggStats.Steals += rep.Stats.Steals
 			aggStats.PeakFrontier += rep.Stats.PeakFrontier
 			aggStats.KeyBytes += rep.Stats.KeyBytes
+			aggStats.Collisions += rep.Stats.Collisions
+			if rep.Stats.Stripes > aggStats.Stripes {
+				aggStats.Stripes = rep.Stats.Stripes
+			}
+			if aggStats.MinStripeKeys == 0 || (rep.Stats.MinStripeKeys > 0 && rep.Stats.MinStripeKeys < aggStats.MinStripeKeys) {
+				aggStats.MinStripeKeys = rep.Stats.MinStripeKeys
+			}
+			if rep.Stats.MaxStripeKeys > aggStats.MaxStripeKeys {
+				aggStats.MaxStripeKeys = rep.Stats.MaxStripeKeys
+			}
 			if poolStats.Elapsed == 0 {
 				// Vector-level fan-out already measured wall-clock in the
 				// pool; only the sequential branch sums per-vector time.

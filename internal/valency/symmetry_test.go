@@ -151,7 +151,7 @@ func TestSymmetryCrashDifferential(t *testing.T) {
 			{0, -1},
 		} {
 			opts := Options{Crash: crash}
-			if opts.symmetry() {
+			if opts.SymmetryOn() {
 				t.Fatalf("symmetry must be off under a crash schedule")
 			}
 			legacy := CheckAllInputs(p, 2, Options{Crash: crash, LegacyKeys: true})
@@ -178,8 +178,8 @@ func TestSymmetryOptionGates(t *testing.T) {
 		{Options{NoSymmetry: true, LegacyKeys: true}, false},
 	}
 	for i, tc := range cases {
-		if got := tc.opts.symmetry(); got != tc.want {
-			t.Errorf("case %d: symmetry() = %v, want %v (%+v)", i, got, tc.want, tc.opts)
+		if got := tc.opts.SymmetryOn(); got != tc.want {
+			t.Errorf("case %d: SymmetryOn() = %v, want %v (%+v)", i, got, tc.want, tc.opts)
 		}
 	}
 }

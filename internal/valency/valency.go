@@ -109,7 +109,10 @@ type Options struct {
 	LegacyKeys bool
 }
 
-func (o Options) maxConfigs() int {
+// Budget returns the effective configuration budget (MaxConfigs with its
+// default applied).  Exported for engine embedders such as the
+// distributed cluster, which enforce it per worker and globally.
+func (o Options) Budget() int {
 	if o.MaxConfigs <= 0 {
 		return 1 << 20
 	}
@@ -132,12 +135,13 @@ func (o Options) Crashed(c *sim.Config, pid int) bool {
 	return pid < len(o.Crash) && o.Crash[pid] >= 0 && c.Steps[pid] >= o.Crash[pid]
 }
 
-// symmetry reports whether the engines canonicalize identical-process
+// SymmetryOn reports whether the engines canonicalize identical-process
 // configurations.  Reduction is off under a crash schedule: Crash[pid]
 // attaches a per-slot step allowance, so processes in equal states are
 // no longer interchangeable and sorting slots would conflate distinct
-// crash futures.
-func (o Options) symmetry() bool {
+// crash futures.  Exported so engine embedders configure their
+// sim.Keyers identically to the local engines.
+func (o Options) SymmetryOn() bool {
 	return !o.NoSymmetry && !o.LegacyKeys && len(o.Crash) == 0
 }
 
@@ -147,12 +151,14 @@ func (o Options) symmetry() bool {
 // so keys with and without a crash suffix never alias.
 const crashKeyTag = 0xFD
 
-// appendExploreKey appends the compact visited-set key for c: the
+// AppendVisitKey appends the compact visited-set key for c: the
 // (possibly canonical) configuration encoding, extended — exactly as
 // exploreKey extends Config.Key — with each scheduled process's
 // remaining steps to crash when a crash schedule is active, because the
-// allowance determines the process's future behavior.
-func (o Options) appendExploreKey(k *sim.Keyer, c *sim.Config, buf []byte) []byte {
+// allowance determines the process's future behavior.  Every engine that
+// wants byte-identical dedup with the local ones (the distributed
+// workers, most importantly) must key its visited sets with this.
+func (o Options) AppendVisitKey(k *sim.Keyer, c *sim.Config, buf []byte) []byte {
 	buf = k.AppendKey(c, buf)
 	if len(o.Crash) == 0 {
 		return buf
@@ -263,7 +269,7 @@ func checkSerial(proto sim.Protocol, inputs []int64, opts Options) *Report {
 	for _, in := range inputs {
 		ch.valid[in] = true
 	}
-	ch.keyer.Symmetry = opts.symmetry()
+	ch.keyer.Symmetry = opts.SymmetryOn()
 	c := sim.NewConfig(proto, inputs)
 	start := time.Now()
 	ch.explore(c)
@@ -326,7 +332,7 @@ func (ch *checker) explore(c *sim.Config) bool {
 	if ch.opts.LegacyKeys {
 		return ch.exploreLegacy(c)
 	}
-	ch.buf = ch.opts.appendExploreKey(&ch.keyer, c, ch.buf[:0])
+	ch.buf = ch.opts.AppendVisitKey(&ch.keyer, c, ch.buf[:0])
 	switch ch.visited[string(ch.buf)] {
 	case 1:
 		// Back edge: a cycle of live configurations.
@@ -335,7 +341,7 @@ func (ch *checker) explore(c *sim.Config) bool {
 	case 2:
 		return false
 	}
-	if len(ch.visited) >= ch.opts.maxConfigs() {
+	if len(ch.visited) >= ch.opts.Budget() {
 		ch.rep.Complete = false
 		return true
 	}
@@ -357,7 +363,7 @@ func (ch *checker) exploreLegacy(c *sim.Config) bool {
 	case 2:
 		return false
 	}
-	if len(ch.visited) >= ch.opts.maxConfigs() {
+	if len(ch.visited) >= ch.opts.Budget() {
 		ch.rep.Complete = false
 		return true
 	}

@@ -11,13 +11,25 @@
 # — >= 2x configs/s or >= 4x fewer allocs/op for some optimized engine
 # at some worker count — never compares across machines or runs.
 #
-# Usage: scripts/bench.sh [output.json]     (default: BENCH_pr3.json)
+# A second stage runs BenchmarkExploreDist (internal/dist) and emits
+# BENCH_pr4.json comparing a single-process run against a loopback
+# cluster (coordinator + 4 TCP workers in one process) on the same job.
+# On one machine the cluster measures pure protocol overhead — every
+# frontier configuration rides the wire twice — so the acceptance check
+# is configuration-count equality (both engines explored the identical
+# space), not a speedup; the configs/s of each engine is recorded so a
+# multi-machine run has a baseline to beat.
+#
+# Usage: scripts/bench.sh [output.json] [dist-output.json]
+#        (defaults: BENCH_pr3.json BENCH_pr4.json)
 set -eu
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_pr3.json}"
+distout="${2:-BENCH_pr4.json}"
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+distraw="$(mktemp)"
+trap 'rm -f "$raw" "$distraw"' EXIT
 
 # Fixed per-package bench budgets: the exploration workloads are
 # whole-space runs (one op = one exhaustive check), so 1x is already a
@@ -103,3 +115,65 @@ if ! grep -q '"pass": true' "$out"; then
 	exit 1
 fi
 echo "bench.sh: acceptance passed"
+
+# ---- dist stage: single-process vs loopback-sharded cluster ----
+echo "== ./internal/dist (-benchtime=1x)" >&2
+go test -run=NONE -bench='^BenchmarkExploreDist' -benchtime=1x -timeout 20m ./internal/dist | tee "$distraw" >&2
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+function jnum(v) { return (v == int(v)) ? sprintf("%d", v) : sprintf("%.6g", v) }
+/^goos: /  { goos = $2 }
+/^goarch: / { goarch = $2 }
+/^cpu: /   { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	iters = $2
+	m = ""
+	for (i = 3; i + 1 <= NF; i += 2) {
+		val = $(i); unit = $(i + 1)
+		if (m != "") m = m ", "
+		m = m sprintf("\"%s\": %s", unit, jnum(val))
+		metric[name, unit] = val
+	}
+	# Derived throughput: one op is the whole exhaustive run, so
+	# configs/s = configs / (ns/op / 1e9), comparable across engines
+	# measured in the same run on the same machine.
+	if ((name, "configs") in metric && metric[name, "ns/op"] > 0) {
+		cps = metric[name, "configs"] * 1e9 / metric[name, "ns/op"]
+		m = m sprintf(", \"configs/s\": %s", jnum(cps))
+		metric[name, "configs/s"] = cps
+	}
+	if (benches != "") benches = benches ",\n"
+	benches = benches sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"metrics\": {%s}}", name, iters, m)
+	order[++nb] = name
+}
+END {
+	printf "{\n"
+	printf "  \"generated\": \"%s\",\n", date
+	printf "  \"host\": {\"goos\": \"%s\", \"goarch\": \"%s\", \"cpu\": \"%s\"},\n", goos, goarch, cpu
+	printf "  \"benchmarks\": [\n%s\n  ],\n", benches
+	root = "BenchmarkExploreDist/engine="
+	single = root "single"; loop = root "loopback4"
+	have = ((single, "configs") in metric) && ((loop, "configs") in metric)
+	equal = have && (metric[single, "configs"] == metric[loop, "configs"])
+	ratio = (have && metric[single, "configs/s"] > 0) ? metric[loop, "configs/s"] / metric[single, "configs/s"] : 0
+	printf "  \"acceptance\": {\n"
+	printf "    \"benchmark\": \"BenchmarkExploreDist\",\n"
+	printf "    \"workload\": \"counter-walk n=3, inputs 0,1,1, all schedules and coins\",\n"
+	printf "    \"criterion\": \"loopback cluster explores the identical configuration count as the single-process engine, same run\",\n"
+	printf "    \"single_configs\": %s,\n", have ? jnum(metric[single, "configs"]) : "null"
+	printf "    \"loopback4_configs\": %s,\n", have ? jnum(metric[loop, "configs"]) : "null"
+	printf "    \"loopback4_vs_single_configs_per_sec_ratio\": %.3f,\n", ratio
+	printf "    \"pass\": %s\n", equal ? "true" : "false"
+	printf "  }\n"
+	printf "}\n"
+}
+' "$distraw" > "$distout"
+
+echo "wrote $distout"
+if ! grep -q '"pass": true' "$distout"; then
+	echo "bench.sh: FAILED dist acceptance — loopback cluster and single-process engine disagree on configuration count" >&2
+	exit 1
+fi
+echo "bench.sh: dist acceptance passed"

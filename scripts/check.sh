@@ -25,6 +25,15 @@ stage="go test (full suite)"
 go test -timeout 20m ./...
 stage="go test -race -short"
 go test -race -short -timeout 10m ./...
+stage="dist race (full, internal/dist)"
+# The -short race pass above skips nothing in internal/dist today, but
+# the distributed runtime is the code most likely to grow long tests
+# behind -short; pin a full (non-short) race pass over it explicitly.
+go test -race -timeout 10m ./internal/dist/
+stage="dist loopback smoke"
+# End-to-end cluster smoke: coordinator plus two in-process TCP workers
+# must reproduce the serial verdict on a small exhaustive job.
+go run ./cmd/distcheck -loopback 2 -shards 8 -protocol counter-walk -n 2 -all | grep -q "SAFE"
 stage="bench smoke"
 # One iteration of every benchmark: keeps the benchmark suites compiling
 # and their invariant checks (clean-verification assertions) honest
