@@ -12,7 +12,12 @@
 //
 // A worker needs no job flags — the coordinator ships the job over the
 // wire.  With -checkpoint, the coordinator snapshots periodically and a
-// rerun of the same command resumes from the snapshot.
+// rerun of the same command resumes from the snapshot (-resume insists
+// on it).  The cluster self-heals: workers reconnect under seeded
+// backoff and rejoin as themselves, a restarted coordinator picks the
+// job back up from its checkpoint while workers keep retrying, and
+// -chaos-net-seed drives a deterministic network-chaos proxy for soak
+// testing the recovery machinery in loopback mode.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"randsync/internal/dist"
 	"randsync/internal/valency"
@@ -55,6 +61,14 @@ func run(args []string) error {
 	nosym := fs.Bool("nosym", false, "disable identical-process symmetry reduction")
 	shards := fs.Int("shards", 64, "fingerprint partition width")
 	checkpoint := fs.String("checkpoint", "", "coordinator: checkpoint file (resumes if present)")
+	resume := fs.Bool("resume", false, "coordinator: require resuming from -checkpoint (error if no snapshot exists)")
+	netTimeout := fs.Duration("net-timeout", 30*time.Second, "per-connection read/write deadline")
+	heartbeat := fs.Duration("heartbeat", time.Second, "coordinator ping interval; recovery latency scales with it")
+	deadAfter := fs.Duration("dead-after", 10*time.Second, "pong silence after which a worker is declared dead (slow/re-dispatch cutoffs derive from this)")
+	memBudget := fs.Int64("mem-budget", 0, "coordinator cap on retained visited-set key bytes, 0 = unlimited")
+	chaosSeed := fs.Uint64("chaos-net-seed", 0, "loopback: interpose a deterministic network-chaos proxy seeded with this value")
+	retry := fs.Int("retry", 0, "worker: consecutive failed connection attempts before giving up (default 30)")
+	workerID := fs.Uint64("worker-id", 0, "worker: stable identity announced on every reconnect (default random)")
 	jsonOut := fs.Bool("json", false, "emit the verdict as JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,7 +76,20 @@ func run(args []string) error {
 
 	if *join != "" {
 		fmt.Fprintf(os.Stderr, "distcheck: joining %s\n", *join)
-		return dist.Work(*join, dist.WorkerOptions{})
+		return dist.Work(*join, dist.WorkerOptions{
+			ID:          *workerID,
+			MaxAttempts: *retry,
+			NetTimeout:  *netTimeout,
+		})
+	}
+
+	if *resume {
+		if *checkpoint == "" {
+			return fmt.Errorf("-resume needs -checkpoint")
+		}
+		if _, err := os.Stat(*checkpoint); err != nil {
+			return fmt.Errorf("-resume: no checkpoint to resume from: %v", err)
+		}
 	}
 
 	job := dist.Job{
@@ -79,6 +106,10 @@ func run(args []string) error {
 	opts := dist.Options{
 		Shards:         *shards,
 		CheckpointPath: *checkpoint,
+		NetTimeout:     *netTimeout,
+		HeartbeatEvery: *heartbeat,
+		DeadAfter:      *deadAfter,
+		MemBudget:      *memBudget,
 		Valency: valency.Options{
 			MaxConfigs: *budget,
 			Workers:    *workers,
@@ -90,7 +121,10 @@ func run(args []string) error {
 	var err error
 	switch {
 	case *loopback > 0:
-		rep, err = dist.Loopback(*loopback, job, opts)
+		rep, err = dist.LoopbackChaos(dist.LoopbackConfig{
+			Workers:   *loopback,
+			ChaosSeed: *chaosSeed,
+		}, job, opts)
 	case *listen != "":
 		var ln net.Listener
 		ln, err = net.Listen("tcp", *listen)
@@ -163,6 +197,14 @@ func report(rep *valency.Report, job dist.Job, jsonOut bool, args []string) erro
 			s.Workers, s.Shards, s.Batches, s.RemoteItems, s.Recoveries, s.Checkpoints)
 		fmt.Printf("throughput: %.0f configs/s (%v); dedup hits %d, key bytes %d, shard keys min/max %d/%d\n",
 			s.Rate(rep.Configs), s.Elapsed.Round(1e6), s.DedupHits, s.KeyBytes, s.MinStripeKeys, s.MaxStripeKeys)
+		if r := s.Recovery; r != nil && (r.Reconnects+r.WorkerDeaths+r.Redispatches+r.CheckpointResumes+r.ChaosEvents > 0) {
+			fmt.Printf("recovery: %d reconnects, %d worker deaths, %d batches re-queued, %d speculative re-dispatches, %d checkpoint resumes",
+				r.Reconnects, r.WorkerDeaths, r.RequeuedBatches, r.Redispatches, r.CheckpointResumes)
+			if r.ChaosSeed != 0 {
+				fmt.Printf("; %d chaos events (seed %d)", r.ChaosEvents, r.ChaosSeed)
+			}
+			fmt.Println()
+		}
 	}
 	return nil
 }

@@ -40,3 +40,42 @@ func BenchmarkExploreDist(b *testing.B) {
 		b.ReportMetric(float64(configs), "configs")
 	})
 }
+
+// BenchmarkRecoveryOverhead prices the self-healing machinery: the same
+// loopback job runs once over a clean wire and once behind the seeded
+// chaos proxy (drops, delays, duplicates, reorders, truncations), with
+// the recovery clocks tuned down so the chaos run measures re-dispatch
+// and reconnect work rather than production timeouts.  The invariant is
+// configuration-count equality across the two modes — chaos may slow
+// the run, never change what it explored.
+func BenchmarkRecoveryOverhead(b *testing.B) {
+	spec := ProtoSpec{Name: "counter-walk", N: 3}
+	inputs := []int64{0, 1, 1}
+	opts := fastRecovery(16)
+	run := func(b *testing.B, seed uint64) {
+		var configs int
+		var events, recoveries int64
+		for i := 0; i < b.N; i++ {
+			rep, err := LoopbackChaos(LoopbackConfig{
+				Workers:   4,
+				ChaosSeed: seed,
+				ChaosPlan: soakPlan(),
+			}, Job{Spec: spec, Inputs: inputs}, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			configs = rep.Configs
+			if r := rep.Stats.Recovery; r != nil {
+				events = r.ChaosEvents
+				recoveries = r.Reconnects + r.WorkerDeaths + r.Redispatches
+			}
+		}
+		b.ReportMetric(float64(configs), "configs")
+		if seed != 0 {
+			b.ReportMetric(float64(events), "chaos-events")
+			b.ReportMetric(float64(recoveries), "recoveries")
+		}
+	}
+	b.Run("wire=clean", func(b *testing.B) { run(b, 0) })
+	b.Run("wire=chaos", func(b *testing.B) { run(b, 42) })
+}

@@ -33,7 +33,10 @@ import (
 // idempotent, only telemetry counters inflate.
 const msgCheckpoint byte = 0x43
 
-const checkpointVersion = 1
+// Version 2 added the vector's violated flag (a checkpoint is written
+// the moment a violation is seen, so a killed coordinator re-reports
+// instead of re-exploring) and the full recovery counter block.
+const checkpointVersion = 2
 
 // jobHash fingerprints everything that determines the exploration
 // universe; a checkpoint from a different protocol, vector mode,
@@ -69,8 +72,13 @@ func (co *coord) encodeCheckpoint() []byte {
 	b = putUvarint(b, uint64(co.aggStats.MinStripeKeys))
 	b = putUvarint(b, uint64(co.aggStats.MaxStripeKeys))
 	b = putUvarint(b, uint64(co.batches))
-	b = putUvarint(b, uint64(co.recoveries))
-	b = putUvarint(b, uint64(co.checkpoints))
+	b = putUvarint(b, uint64(co.rec.Reconnects))
+	b = putUvarint(b, uint64(co.rec.WorkerDeaths))
+	b = putUvarint(b, uint64(co.rec.RequeuedBatches))
+	b = putUvarint(b, uint64(co.rec.Redispatches))
+	b = putUvarint(b, uint64(co.rec.CheckpointResumes))
+	b = putUvarint(b, uint64(co.rec.CheckpointsWritten))
+	b = putUvarint(b, uint64(co.rec.MemPauses))
 
 	// Current vector.
 	v := co.vec
@@ -78,7 +86,7 @@ func (co *coord) encodeCheckpoint() []byte {
 	for _, in := range v.inputs {
 		b = putVarint(b, in)
 	}
-	b = putUvarint(b, boolBit(v.incomplete))
+	b = putUvarint(b, boolBit(v.incomplete)|boolBit(v.violated)<<1)
 	b = putUvarint(b, uint64(v.generated))
 	b = putUvarint(b, uint64(v.dedupHits))
 	b = putUvarint(b, uint64(v.keyBytes))
@@ -140,8 +148,13 @@ func (co *coord) decodeCheckpoint(p []byte) error {
 	co.aggStats.MinStripeKeys = int64(r.uvarint("ckpt min stripe"))
 	co.aggStats.MaxStripeKeys = int64(r.uvarint("ckpt max stripe"))
 	co.batches = int64(r.uvarint("ckpt batches"))
-	co.recoveries = int64(r.uvarint("ckpt recoveries"))
-	co.checkpoints = int64(r.uvarint("ckpt checkpoints"))
+	co.rec.Reconnects = int64(r.uvarint("ckpt reconnects"))
+	co.rec.WorkerDeaths = int64(r.uvarint("ckpt worker deaths"))
+	co.rec.RequeuedBatches = int64(r.uvarint("ckpt requeued"))
+	co.rec.Redispatches = int64(r.uvarint("ckpt redispatches"))
+	co.rec.CheckpointResumes = int64(r.uvarint("ckpt resumes"))
+	co.rec.CheckpointsWritten = int64(r.uvarint("ckpt checkpoints"))
+	co.rec.MemPauses = int64(r.uvarint("ckpt mem pauses"))
 
 	ni := r.uvarint("ckpt inputs len")
 	inputs := make([]int64, 0, ni)
@@ -149,7 +162,9 @@ func (co *coord) decodeCheckpoint(p []byte) error {
 		inputs = append(inputs, r.varint("ckpt input"))
 	}
 	v := newVectorState(inputs, co.S)
-	v.incomplete = r.uvarint("ckpt incomplete") != 0
+	vflags := r.uvarint("ckpt vector flags")
+	v.incomplete = vflags&1 != 0
+	v.violated = vflags&2 != 0
 	v.generated = int64(r.uvarint("ckpt vec generated"))
 	v.dedupHits = int64(r.uvarint("ckpt vec dedup"))
 	v.keyBytes = int64(r.uvarint("ckpt vec keybytes"))
@@ -182,9 +197,12 @@ func (co *coord) decodeCheckpoint(p []byte) error {
 	return r.err()
 }
 
-// checkpointNow snapshots atomically (temp file + rename); failures are
-// reported on stderr but never abort the run — a missed snapshot only
-// costs re-exploration after a crash.
+// checkpointNow snapshots atomically and durably: the frame is written
+// to a temp sibling, fsync'd, renamed into place, and the directory is
+// fsync'd, so a machine crash at any instant leaves either the previous
+// snapshot or the new one — never a torn file.  Failures are reported
+// on stderr but never abort the run — a missed snapshot only costs
+// re-exploration after a crash.
 func (co *coord) checkpointNow() {
 	path := co.opts.CheckpointPath
 	if path == "" || co.vec == nil {
@@ -195,22 +213,43 @@ func (co *coord) checkpointNow() {
 	f, err := os.Create(tmp)
 	if err == nil {
 		err = writeFrame(f, msgCheckpoint, payload)
+		if err == nil {
+			err = f.Sync()
+		}
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
 		if err == nil {
 			err = os.Rename(tmp, path)
 		}
+		if err == nil {
+			syncDir(filepath.Dir(path))
+		}
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dist: checkpoint: %v\n", err)
 		return
 	}
-	co.checkpoints++
+	co.rec.CheckpointsWritten++
+}
+
+// syncDir makes a rename durable on filesystems that require a
+// directory fsync; best-effort (some platforms refuse directory syncs).
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
 }
 
 // tryResume loads the checkpoint file if Options name one and it
-// exists; reports whether the coordinator state was restored.
+// exists; reports whether the coordinator state was restored.  The
+// frame's embedded fingerprint is re-verified on the way in and any
+// mismatch — truncation, bit flips, trailing garbage, a different job —
+// refuses to resume with a diagnosable error rather than silently
+// exploring from a corrupt frontier.
 func (co *coord) tryResume() (bool, error) {
 	path := co.opts.CheckpointPath
 	if path == "" {
@@ -224,16 +263,22 @@ func (co *coord) tryResume() (bool, error) {
 		return false, err
 	}
 	defer f.Close()
+	base := filepath.Base(path)
 	typ, payload, err := readFrame(f)
 	if err != nil {
-		return false, fmt.Errorf("dist: checkpoint %s: %w", filepath.Base(path), err)
+		return false, fmt.Errorf("dist: checkpoint %s is corrupt or truncated (%v); refusing to resume — delete it to restart the job from scratch", base, err)
 	}
 	if typ != msgCheckpoint {
-		return false, fmt.Errorf("dist: %s is not a checkpoint file", filepath.Base(path))
+		return false, fmt.Errorf("dist: %s is not a checkpoint file; refusing to resume", base)
+	}
+	var one [1]byte
+	if n, _ := f.Read(one[:]); n != 0 {
+		return false, fmt.Errorf("dist: checkpoint %s has trailing bytes after the snapshot frame; refusing to resume — delete it to restart the job from scratch", base)
 	}
 	if err := co.decodeCheckpoint(payload); err != nil {
 		return false, err
 	}
+	co.rec.CheckpointResumes++
 	return true, nil
 }
 

@@ -11,11 +11,17 @@ import (
 	"randsync/internal/valency"
 )
 
-// Serve runs the coordinator: it accepts exactly `expect` worker
-// connections from ln, drives the job to completion, and returns the
-// aggregated report.  The report's verdict fields (Complete, Configs,
-// Violation, Decisions, Livelock) equal a serial valency run of the
-// same job; Stats carries the cluster telemetry.
+// Serve runs the coordinator: it accepts worker connections from ln
+// until `expect` distinct worker identities have joined, drives the job
+// to completion, and returns the aggregated report.  The report's
+// verdict fields (Complete, Configs, Violation, Decisions, Livelock)
+// equal a serial valency run of the same job; Stats carries the cluster
+// telemetry, Stats.Recovery the self-healing audit trail.
+//
+// The listener stays open for the whole run: a worker that loses its
+// connection re-handshakes with the same identity and rejoins as
+// itself — the coordinator re-queues only that worker's unacknowledged
+// batches and keeps going.  Serve does not close ln; the caller owns it.
 func Serve(ln net.Listener, expect int, job Job, opts Options) (*valency.Report, error) {
 	if err := opts.validate(job); err != nil {
 		return nil, err
@@ -28,7 +34,8 @@ func Serve(ln net.Listener, expect int, job Job, opts Options) (*valency.Report,
 		return nil, err
 	}
 	defer co.closeAll()
-	if err := co.accept(ln, expect); err != nil {
+	go co.acceptLoop(ln)
+	if err := co.waitForWorkers(expect); err != nil {
 		return nil, err
 	}
 	return co.run()
@@ -36,15 +43,28 @@ func Serve(ln net.Listener, expect int, job Job, opts Options) (*valency.Report,
 
 // event is one message into the coordinator's single-threaded loop; all
 // mutable coordinator state is owned by that loop, so there is no lock.
+// Events carry the *wconn they came from (not a slot index): a rejoin
+// replaces a slot's wconn, and events from the superseded connection
+// must become no-ops, not act on the new one.
 type event struct {
-	worker  int
+	w       *wconn // source connection; nil for join and listener events
 	typ     byte
 	payload []byte
-	err     error // non-nil: the worker's connection died
+	err     error    // non-nil: the connection (or listener) died
+	join    *joinReq // non-nil: a completed worker handshake
+}
+
+// joinReq is a handshaken worker connection awaiting admission by the
+// event loop.
+type joinReq struct {
+	conn     net.Conn
+	br       *bufio.Reader
+	identity uint64
 }
 
 type wconn struct {
-	id       int
+	slot     int
+	identity uint64
 	conn     net.Conn
 	out      chan outFrame
 	flushed  chan struct{} // closed when the writer goroutine exits
@@ -60,8 +80,9 @@ type outFrame struct {
 
 type batch struct {
 	id     int64
-	worker int
+	worker int // slot of the current assignee
 	items  []item
+	sent   time.Time
 }
 
 // shardMirror is the authoritative visited set of one fingerprint
@@ -96,23 +117,28 @@ type coord struct {
 	proto sim.Protocol
 	S     int
 
-	workers []*wconn
+	workers []*wconn       // slot-indexed; a slot's wconn is replaced on rejoin
+	byID    map[uint64]int // worker identity -> slot
 	events  chan event
 	done    chan struct{} // closed on Serve exit; unblocks reader/writer sends
+	lnErr   error         // listener died: no further joins can arrive
 
 	vec      *vectorState
-	vecIdx   int // cursor into the AllInputs sweep (0 for single-vector)
+	vecIdx   int    // cursor into the AllInputs sweep (0 for single-vector)
+	epoch    uint64 // current vector's wire epoch (vecIdx+1); stamps every batch
 	agg      *valency.Report
 	aggStats valency.Stats
+	rec      valency.RecoveryStats
 
-	inflight    map[int64]*batch
-	nextBatch   int64
-	nextPing    uint64
-	owner       []int // shard -> worker id
-	batches     int64
-	recoveries  int64
-	checkpoints int64
-	started     time.Time
+	inflight   map[int64]*batch
+	nextBatch  int64
+	nextPing   uint64
+	owner      []int // shard -> worker slot
+	batches    int64
+	curJob     []byte    // encoded jobMsg while a vector runs; joins mid-vector replay it
+	graceUntil time.Time // zero-worker rejoin deadline; zero while any worker lives
+	memPaused  bool      // inside a memory-backpressure episode
+	started    time.Time
 }
 
 func newCoord(job Job, opts Options) (*coord, error) {
@@ -125,6 +151,7 @@ func newCoord(job Job, opts Options) (*coord, error) {
 		opts:     opts,
 		proto:    proto,
 		S:        opts.shards(),
+		byID:     make(map[uint64]int),
 		events:   make(chan event, 256),
 		done:     make(chan struct{}),
 		inflight: make(map[int64]*batch),
@@ -134,39 +161,71 @@ func newCoord(job Job, opts Options) (*coord, error) {
 	return co, nil
 }
 
-func (co *coord) accept(ln net.Listener, expect int) error {
-	for i := 0; i < expect; i++ {
+// acceptLoop admits connections for the lifetime of the listener — not
+// just the initial `expect` — so late joiners and reconnecting workers
+// always find the door open.  Each connection handshakes on its own
+// goroutine so a half-open socket cannot stall admission of the rest.
+func (co *coord) acceptLoop(ln net.Listener) {
+	for {
 		conn, err := ln.Accept()
 		if err != nil {
-			return err
+			co.post(event{err: err}) // w==nil, join==nil: listener death
+			return
 		}
-		br := bufio.NewReader(conn)
-		typ, payload, err := readFrame(br)
-		if err != nil || typ != msgHello {
-			conn.Close()
-			return fmt.Errorf("dist: worker %d handshake failed: %v", i, err)
+		go co.handshake(conn)
+	}
+}
+
+// handshake reads the HELLO under a deadline and posts the join; a
+// connection that speaks the wrong protocol (or nothing at all) is
+// dropped without involving the event loop.
+func (co *coord) handshake(conn net.Conn) {
+	conn.SetReadDeadline(time.Now().Add(co.opts.netTimeout()))
+	br := bufio.NewReader(conn)
+	typ, payload, err := readFrame(br)
+	if err != nil || typ != msgHello {
+		conn.Close()
+		return
+	}
+	hm, err := decodeHello(payload)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	if !co.post(event{join: &joinReq{conn: conn, br: br, identity: hm.Identity}}) {
+		conn.Close()
+	}
+}
+
+// waitForWorkers runs the event loop until `expect` workers are alive,
+// heartbeating the early joiners so their connections stay warm.
+func (co *coord) waitForWorkers(expect int) error {
+	ticker := time.NewTicker(co.opts.heartbeatEvery())
+	defer ticker.Stop()
+	for co.alive() < expect {
+		if co.lnErr != nil {
+			return fmt.Errorf("dist: listener died with %d of %d workers joined: %w", co.alive(), expect, co.lnErr)
 		}
-		r := &wreader{b: payload}
-		if v := r.uvarint("hello version"); r.err() != nil || v != wireVersion {
-			conn.Close()
-			return fmt.Errorf("dist: worker %d speaks wire version %d, want %d", i, v, wireVersion)
+		select {
+		case ev := <-co.events:
+			co.handle(ev)
+		case <-ticker.C:
+			co.heartbeat()
 		}
-		w := &wconn{id: i, conn: conn, out: make(chan outFrame, 64), flushed: make(chan struct{}), lastPong: time.Now()}
-		co.workers = append(co.workers, w)
-		go co.reader(w, br)
-		go co.writer(w)
 	}
 	return nil
 }
 
 func (co *coord) reader(w *wconn, br *bufio.Reader) {
 	for {
+		w.conn.SetReadDeadline(time.Now().Add(co.opts.netTimeout()))
 		typ, payload, err := readFrame(br)
 		if err != nil {
-			co.post(event{worker: w.id, err: err})
+			co.post(event{w: w, err: err})
 			return
 		}
-		if !co.post(event{worker: w.id, typ: typ, payload: payload}) {
+		if !co.post(event{w: w, typ: typ, payload: payload}) {
 			return
 		}
 	}
@@ -187,17 +246,20 @@ func (co *coord) writer(w *wconn) {
 	defer close(w.flushed)
 	bw := bufio.NewWriter(w.conn)
 	for f := range w.out {
+		w.conn.SetWriteDeadline(time.Now().Add(co.opts.netTimeout()))
 		if err := writeFrame(bw, f.typ, f.payload); err != nil {
-			co.post(event{worker: w.id, err: err})
+			co.post(event{w: w, err: err})
 			return
 		}
 		if len(w.out) == 0 {
+			w.conn.SetWriteDeadline(time.Now().Add(co.opts.netTimeout()))
 			if err := bw.Flush(); err != nil {
-				co.post(event{worker: w.id, err: err})
+				co.post(event{w: w, err: err})
 				return
 			}
 		}
 	}
+	w.conn.SetWriteDeadline(time.Now().Add(co.opts.netTimeout()))
 	bw.Flush() // queue closed with frames still buffered (shutdown STOP)
 }
 
@@ -210,7 +272,7 @@ func (co *coord) send(w *wconn, typ byte, payload []byte) {
 	default:
 		// Outbound queue full: the worker has stopped draining.  Treat
 		// as dead rather than block the event loop.
-		co.markDead(w, fmt.Errorf("dist: worker %d outbound queue full", w.id))
+		co.markDead(w, fmt.Errorf("dist: worker %d outbound queue full", w.slot))
 	}
 }
 
@@ -248,16 +310,51 @@ func (co *coord) alive() int {
 
 // assignOwners maps every shard to an alive worker round-robin.
 func (co *coord) assignOwners() {
-	var ids []int
+	var slots []int
 	for _, w := range co.workers {
 		if !w.dead {
-			ids = append(ids, w.id)
+			slots = append(slots, w.slot)
 		}
+	}
+	if len(slots) == 0 {
+		return
 	}
 	co.owner = make([]int, co.S)
 	for s := range co.owner {
-		co.owner[s] = ids[s%len(ids)]
+		co.owner[s] = slots[s%len(slots)]
 	}
+}
+
+// handleJoin admits a handshaken connection.  A known identity is a
+// rejoin: the old connection (if still considered alive) is superseded —
+// its unacknowledged batches re-queue exactly as for a death — and the
+// fresh connection takes over the same slot, so the worker keeps its
+// place in the shard ownership map.  An unknown identity is a new peer.
+func (co *coord) handleJoin(j *joinReq) {
+	slot, known := co.byID[j.identity]
+	if known {
+		if old := co.workers[slot]; !old.dead {
+			co.markDead(old, fmt.Errorf("dist: worker %d superseded by rejoin", slot))
+		}
+		co.rec.Reconnects++
+	} else {
+		slot = len(co.workers)
+		co.workers = append(co.workers, nil)
+		co.byID[j.identity] = slot
+	}
+	w := &wconn{
+		slot: slot, identity: j.identity, conn: j.conn,
+		out: make(chan outFrame, 64), flushed: make(chan struct{}),
+		lastPong: time.Now(),
+	}
+	co.workers[slot] = w
+	co.graceUntil = time.Time{}
+	go co.reader(w, j.br)
+	go co.writer(w)
+	if co.curJob != nil {
+		co.send(w, msgJob, co.curJob)
+	}
+	co.assignOwners()
 }
 
 // run drives the whole job: resume-or-start, then one vector at a time
@@ -268,7 +365,6 @@ func (co *coord) run() (*valency.Report, error) {
 		return nil, err
 	}
 	co.assignOwners()
-	co.aggStats.Workers = len(co.workers)
 	co.aggStats.Shards = co.S
 
 	vectors := 1
@@ -281,9 +377,17 @@ func (co *coord) run() (*valency.Report, error) {
 			co.seedInitial()
 		}
 		resumed = false
-		rep, err := co.runVector()
-		if err != nil {
-			return nil, err
+		var rep *valency.Report
+		if co.vec.violated {
+			// Resumed from a checkpoint written at violation time: the
+			// distributed verdict is already known, go straight to the
+			// canonical serial re-run in foldVector.
+			rep = co.vectorReport()
+		} else {
+			rep, err = co.runVector()
+			if err != nil {
+				return nil, err
+			}
 		}
 		if done := co.foldVector(rep); done != nil {
 			co.stop()
@@ -372,6 +476,7 @@ func (co *coord) enqueue(it item) {
 // per-vector report (violation field nil even when violated — the
 // caller re-runs serially for the canonical counterexample).
 func (co *coord) runVector() (*valency.Report, error) {
+	co.epoch = uint64(co.vecIdx) + 1
 	jm := jobMsg{
 		Spec:       co.job.Spec,
 		Inputs:     co.vec.inputs,
@@ -379,9 +484,12 @@ func (co *coord) runVector() (*valency.Report, error) {
 		Crash:      co.opts.Valency.Crash,
 		Workers:    co.opts.Valency.Workers,
 		Shards:     co.S,
+		Epoch:      co.epoch,
 	}
+	co.curJob = jm.encode()
+	defer func() { co.curJob = nil }()
 	for _, w := range co.workers {
-		co.send(w, msgJob, jm.encode())
+		co.send(w, msgJob, co.curJob)
 	}
 
 	ticker := time.NewTicker(co.opts.heartbeatEvery())
@@ -391,54 +499,103 @@ func (co *coord) runVector() (*valency.Report, error) {
 	for !co.quiescent() {
 		select {
 		case ev := <-co.events:
-			if ev.err != nil {
-				co.markDead(co.workers[ev.worker], ev.err)
-				if co.alive() == 0 {
-					co.checkpointNow()
-					return nil, ErrAllWorkersLost
-				}
-			} else if err := co.handle(ev); err != nil {
-				return nil, err
-			}
+			co.handle(ev)
 			if co.opts.AbortAfterBatches > 0 && co.batches >= co.opts.AbortAfterBatches {
 				co.checkpointNow()
 				return nil, ErrAborted
 			}
 			if co.vec.violated {
+				// Persist the verdict before reporting: a coordinator
+				// killed between discovery and the serial re-run resumes
+				// straight into re-reporting, not re-exploring.
+				co.checkpointNow()
 				return co.vectorReport(), nil
 			}
 		case <-ticker.C:
 			co.heartbeat()
-			if co.alive() == 0 {
-				co.checkpointNow()
-				return nil, ErrAllWorkersLost
-			}
+		}
+		if err := co.checkLiveness(); err != nil {
+			return nil, err
 		}
 		co.pump()
 	}
 	return co.vectorReport(), nil
 }
 
+// checkLiveness arbitrates the zero-workers state: the first tick with
+// nobody alive checkpoints (the crash-safe record of the frontier) and
+// opens a rejoin grace window; only when the window expires — or the
+// listener is gone, so no rejoin can ever arrive — does the run give up.
+func (co *coord) checkLiveness() error {
+	if co.alive() > 0 {
+		co.graceUntil = time.Time{}
+		return nil
+	}
+	if co.graceUntil.IsZero() {
+		co.checkpointNow()
+		co.graceUntil = time.Now().Add(co.opts.rejoinGrace())
+	}
+	if co.lnErr != nil || time.Now().After(co.graceUntil) {
+		return ErrAllWorkersLost
+	}
+	return nil
+}
+
 func (co *coord) quiescent() bool {
 	return co.vec.queuedLen == 0 && len(co.inflight) == 0
 }
 
-func (co *coord) handle(ev event) error {
-	w := co.workers[ev.worker]
+// handle folds one event into the coordinator state.  Per-connection
+// failures — decode errors, unexpected frames, connection death — kill
+// that connection only; the job survives anything short of losing every
+// worker past the grace window.
+func (co *coord) handle(ev event) {
+	if ev.join != nil {
+		co.handleJoin(ev.join)
+		return
+	}
+	if ev.w == nil {
+		co.lnErr = ev.err
+		return
+	}
+	w := ev.w
+	if w.dead {
+		return // superseded or already-buried connection: drop
+	}
+	if ev.err != nil {
+		co.markDead(w, ev.err)
+		return
+	}
 	switch ev.typ {
+	case msgHello:
+		// A duplicated HELLO on an established connection (wire chaos):
+		// the handshake already consumed the authoritative one.
 	case msgPong:
 		w.lastPong = time.Now()
 	case msgDone:
 		dm, err := decodeDone(ev.payload)
 		if err != nil {
-			return err
+			// Passed the frame checksum but not the decoder: poison from
+			// this connection kills the connection, not the job.
+			co.markDead(w, err)
+			return
+		}
+		if dm.Epoch != co.epoch {
+			// The worker computed this batch against a stale job — its
+			// JOB frame for the current vector was dropped or reordered
+			// by the network, so these emits are keys from the *wrong
+			// input vector's* state space and must never be admitted.
+			// Kill the connection: the rejoin re-sends the current job,
+			// and the batch re-queues with the rest of its in-flight.
+			co.markDead(w, fmt.Errorf("dist: worker %d acked epoch %d during epoch %d (missed job frame)", w.slot, dm.Epoch, co.epoch))
+			return
 		}
 		b, ok := co.inflight[dm.ID]
-		if !ok || b.worker != ev.worker {
-			// A batch re-dispatched after a presumed-dead worker's late
-			// ack: the effects are idempotent, but only the current
-			// assignee's ack retires the batch.
-			return nil
+		if !ok || b.worker != w.slot {
+			// A late or duplicated ack of a batch that was re-dispatched
+			// (or belongs to an earlier vector): only the current
+			// assignee's ack retires a batch, everything else is noise.
+			return
 		}
 		delete(co.inflight, dm.ID)
 		w.inflight--
@@ -448,14 +605,13 @@ func (co *coord) handle(ev event) error {
 			co.checkpointNow()
 		}
 	default:
-		return fmt.Errorf("dist: unexpected frame type %d from worker %d", ev.typ, ev.worker)
+		co.markDead(w, fmt.Errorf("dist: unexpected frame type %d from worker %d", ev.typ, w.slot))
 	}
-	return nil
 }
 
 // applyDone folds one batch's atomic effect set into the vector state:
 // union decisions, record every emit's edge, admit the new keys, queue
-// admitted items (unless the budget is spent).
+// admitted items (unless the config or memory budget is spent).
 func (co *coord) applyDone(dm doneMsg) {
 	v := co.vec
 	v.generated += dm.Generated
@@ -473,7 +629,7 @@ func (co *coord) applyDone(dm doneMsg) {
 		if !added {
 			continue
 		}
-		if total > budget {
+		if total > budget || co.overMem() {
 			v.incomplete = true
 			continue
 		}
@@ -482,19 +638,47 @@ func (co *coord) applyDone(dm doneMsg) {
 	}
 }
 
-// pump dispatches queued items to shard owners, respecting the
-// per-worker in-flight cap.
+// overMem reports whether the retained mirror key bytes crossed
+// Options.MemBudget — the hard admission stop.
+func (co *coord) overMem() bool {
+	return co.opts.MemBudget > 0 && co.vec.keyBytes >= co.opts.MemBudget
+}
+
+// effectiveInflight is the per-worker in-flight cap after memory
+// backpressure: past 3/4 of MemBudget dispatch clamps to one batch per
+// worker, trading throughput for a bounded emit backlog while the
+// mirror is near its cap.
+func (co *coord) effectiveInflight() int {
+	maxIn := co.opts.maxInflight()
+	if co.opts.MemBudget <= 0 || co.vec == nil {
+		return maxIn
+	}
+	if co.vec.keyBytes >= co.opts.MemBudget*3/4 {
+		if !co.memPaused {
+			co.memPaused = true
+			co.rec.MemPauses++
+		}
+		return 1
+	}
+	co.memPaused = false
+	return maxIn
+}
+
+// pump dispatches queued items, preferring each shard's owner but
+// falling back to any live worker with capacity — workers are stateless
+// replay engines, so placement is an affinity, not a correctness rule.
 func (co *coord) pump() {
 	if co.vec == nil || co.vec.violated {
 		return
 	}
-	maxIn := co.opts.maxInflight()
+	maxIn := co.effectiveInflight()
 	size := co.opts.batchSize()
+	slowCut := time.Now().Add(-co.opts.slowAfter())
 	for s := 0; s < co.S; s++ {
 		q := co.vec.queues[s]
 		for len(q) > 0 {
-			w := co.workers[co.owner[s]]
-			if w.dead || w.inflight >= maxIn {
+			w := co.pick(co.owner[s], maxIn, slowCut)
+			if w == nil {
 				break
 			}
 			n := len(q)
@@ -502,20 +686,44 @@ func (co *coord) pump() {
 				n = size
 			}
 			co.nextBatch++
-			b := &batch{id: co.nextBatch, worker: w.id, items: q[:n:n]}
+			b := &batch{id: co.nextBatch, worker: w.slot, items: q[:n:n], sent: time.Now()}
 			q = q[n:]
 			co.vec.queuedLen -= n
 			co.inflight[b.id] = b
 			w.inflight++
-			co.send(w, msgBatch, batchMsg{ID: b.id, Items: b.items}.encode())
+			co.send(w, msgBatch, batchMsg{ID: b.id, Epoch: co.epoch, Items: b.items}.encode())
 		}
 		co.vec.queues[s] = q
 	}
 }
 
-// markDead declares a worker lost: its in-flight batches are re-queued
-// (their effects were never applied — BATCH_DONE is atomic, so nothing
-// partial leaked) and its shards are reassigned to survivors.
+// pick chooses a dispatch target: the shard owner when alive, under its
+// cap and recently heard from; else any responsive worker with
+// capacity; else a slow one (progress beats placement); nil when every
+// live worker is saturated.
+func (co *coord) pick(owner, maxIn int, slowCut time.Time) *wconn {
+	if w := co.workers[owner]; !w.dead && w.inflight < maxIn && !w.lastPong.Before(slowCut) {
+		return w
+	}
+	var slow *wconn
+	for _, c := range co.workers {
+		if c.dead || c.inflight >= maxIn {
+			continue
+		}
+		if !c.lastPong.Before(slowCut) {
+			return c
+		}
+		if slow == nil {
+			slow = c
+		}
+	}
+	return slow
+}
+
+// markDead declares a connection lost: its in-flight batches are
+// re-queued (their effects were never applied — BATCH_DONE is atomic,
+// so nothing partial leaked) and its shards are reassigned to
+// survivors.  The worker behind it may rejoin at any time.
 func (co *coord) markDead(w *wconn, cause error) {
 	if w.dead {
 		return
@@ -523,12 +731,14 @@ func (co *coord) markDead(w *wconn, cause error) {
 	w.dead = true
 	w.conn.Close()
 	close(w.out)
-	co.recoveries++
+	co.rec.WorkerDeaths++
 	for id, b := range co.inflight {
-		if b.worker != w.id {
+		if b.worker != w.slot {
 			continue
 		}
 		delete(co.inflight, id)
+		w.inflight--
+		co.rec.RequeuedBatches++
 		for _, it := range b.items {
 			co.enqueue(it)
 		}
@@ -540,17 +750,46 @@ func (co *coord) markDead(w *wconn, cause error) {
 }
 
 func (co *coord) heartbeat() {
-	deadline := time.Now().Add(-co.opts.deadAfter())
+	now := time.Now()
+	deadline := now.Add(-co.opts.deadAfter())
 	for _, w := range co.workers {
 		if w.dead {
 			continue
 		}
 		if w.lastPong.Before(deadline) {
-			co.markDead(w, fmt.Errorf("dist: worker %d heartbeat timeout", w.id))
+			co.markDead(w, fmt.Errorf("dist: worker %d heartbeat timeout", w.slot))
 			continue
 		}
 		co.nextPing++
 		co.send(w, msgPing, putUvarint(nil, co.nextPing))
+	}
+	co.redispatchStale(now)
+}
+
+// redispatchStale speculatively re-queues in-flight batches whose owner
+// has gone quiet past SlowAfter, or that have simply aged past
+// BatchTimeout (a BATCH or DONE frame lost on the wire looks exactly
+// like this).  Re-processing is idempotent against the mirror, so a
+// duplicate completion costs telemetry, never correctness; the stale
+// assignee's eventual ack no longer matches and is dropped.
+func (co *coord) redispatchStale(now time.Time) {
+	if co.vec == nil || co.vec.violated {
+		return
+	}
+	slowCut := now.Add(-co.opts.slowAfter())
+	ageCut := now.Add(-co.opts.batchTimeout())
+	for id, b := range co.inflight {
+		w := co.workers[b.worker]
+		stale := b.sent.Before(ageCut) || (!w.dead && w.lastPong.Before(slowCut))
+		if !stale {
+			continue
+		}
+		delete(co.inflight, id)
+		w.inflight--
+		co.rec.Redispatches++
+		for _, it := range b.items {
+			co.enqueue(it)
+		}
 	}
 }
 
@@ -645,11 +884,13 @@ func (co *coord) harvestVectorStats() {
 }
 
 func (co *coord) finalizeStats() {
+	co.aggStats.Workers = len(co.workers)
 	co.aggStats.Stripes = co.S
 	co.aggStats.Batches = co.batches
-	co.aggStats.Recoveries = co.recoveries
-	co.aggStats.Checkpoints = co.checkpoints
+	co.aggStats.Recoveries = co.rec.WorkerDeaths
+	co.aggStats.Checkpoints = co.rec.CheckpointsWritten
 	co.aggStats.Elapsed = time.Since(co.started)
+	co.aggStats.Recovery = &co.rec
 }
 
 // stop tells every live worker the job is over.  Send errors at this

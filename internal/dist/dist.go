@@ -96,6 +96,32 @@ type Options struct {
 	// final checkpoint and return ErrAborted after that many
 	// acknowledged batches — the kill/resume test seam.
 	AbortAfterBatches int64
+	// NetTimeout bounds every read and write on every cluster
+	// connection (default 30s): a peer that stops moving bytes errors
+	// out instead of wedging a goroutine forever.  The coordinator's
+	// heartbeat traffic keeps healthy connections well inside the bound.
+	NetTimeout time.Duration
+	// RejoinGrace is how long a coordinator with zero live workers
+	// waits for a rejoin before giving up with ErrAllWorkersLost
+	// (default 15s).  A checkpoint is written the moment the last
+	// worker drops, so even expiry loses at most the in-flight work.
+	RejoinGrace time.Duration
+	// SlowAfter is the pong-silence window after which a live worker is
+	// treated as slow: its queued shards dispatch to responsive peers
+	// and its in-flight batches are speculatively re-dispatched
+	// (default DeadAfter/2).  Duplicate completions are harmless —
+	// effects are idempotent against the mirror.
+	SlowAfter time.Duration
+	// BatchTimeout re-dispatches any batch unacknowledged for this long
+	// even if its owner still pongs (default DeadAfter) — the recovery
+	// path for a single BATCH or DONE frame lost on the wire.
+	BatchTimeout time.Duration
+	// MemBudget, when positive, caps the coordinator's retained mirror
+	// key bytes: past 3/4 of the budget dispatch backpressure clamps
+	// in-flight batches, and past the budget admission stops and the
+	// report is marked incomplete — the distributed analogue of
+	// valency.Options.MemBudget.
+	MemBudget int64
 }
 
 // ErrAborted reports an induced abort (Options.AbortAfterBatches): the
@@ -146,6 +172,34 @@ func (o Options) deadAfter() time.Duration {
 		return 10 * time.Second
 	}
 	return o.DeadAfter
+}
+
+func (o Options) netTimeout() time.Duration {
+	if o.NetTimeout <= 0 {
+		return 30 * time.Second
+	}
+	return o.NetTimeout
+}
+
+func (o Options) rejoinGrace() time.Duration {
+	if o.RejoinGrace <= 0 {
+		return 15 * time.Second
+	}
+	return o.RejoinGrace
+}
+
+func (o Options) slowAfter() time.Duration {
+	if o.SlowAfter <= 0 {
+		return o.deadAfter() / 2
+	}
+	return o.SlowAfter
+}
+
+func (o Options) batchTimeout() time.Duration {
+	if o.BatchTimeout <= 0 {
+		return o.deadAfter()
+	}
+	return o.BatchTimeout
 }
 
 func (o Options) validate(job Job) error {

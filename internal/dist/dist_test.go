@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"randsync/internal/fault"
 	"randsync/internal/valency"
@@ -171,13 +172,15 @@ func TestWorkerKilledMidRun(t *testing.T) {
 	}
 }
 
-// TestAllWorkersLost: with every worker dead the job cannot finish —
-// the coordinator reports the loss instead of hanging.
+// TestAllWorkersLost: with every worker dead and the rejoin grace
+// window expired, the job cannot finish — the coordinator reports the
+// loss instead of hanging.
 func TestAllWorkersLost(t *testing.T) {
 	spec := ProtoSpec{Name: "counter-walk", N: 2}
 	inj := fault.NewInjector(1, fault.SingleCrash(0, 2), 1<<20)
 	kill := func(batchID int64) { inj.Point(0) }
-	_, err := Loopback(1, Job{Spec: spec, Inputs: []int64{0, 1}}, Options{Shards: 4}, kill)
+	opts := Options{Shards: 4, HeartbeatEvery: 20 * time.Millisecond, RejoinGrace: 150 * time.Millisecond}
+	_, err := Loopback(1, Job{Spec: spec, Inputs: []int64{0, 1}}, opts, kill)
 	if !errors.Is(err, ErrAllWorkersLost) {
 		t.Fatalf("err = %v, want ErrAllWorkersLost", err)
 	}

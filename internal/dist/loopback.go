@@ -5,6 +5,7 @@ import (
 	"net"
 	"sync"
 
+	"randsync/internal/fault"
 	"randsync/internal/valency"
 )
 
@@ -20,7 +21,40 @@ import (
 // path takes over, which is exactly how the fault-injection tests
 // murder a worker mid-run.
 func Loopback(workers int, job Job, opts Options, hooks ...func(batchID int64)) (*valency.Report, error) {
-	if workers < 1 {
+	return LoopbackChaos(LoopbackConfig{Workers: workers, Hooks: hooks}, job, opts)
+}
+
+// LoopbackConfig parameterizes LoopbackChaos beyond plain Loopback.
+type LoopbackConfig struct {
+	// Workers is the cluster size (at least 1).
+	Workers int
+	// Hooks[i], when present and non-nil, is worker i's batch hook.
+	Hooks []func(batchID int64)
+	// ChaosSeed, when non-zero, interposes a deterministic
+	// fault.NetProxy between the workers and the coordinator: every
+	// worker connection is subjected to the seeded chaos plan (drops,
+	// delays, duplicates, reorders, truncations, cuts).  The same seed
+	// over the same job reproduces the same chaos decision sequences.
+	ChaosSeed uint64
+	// ChaosPlan is the event mix; the zero value selects
+	// fault.DefaultNetPlan().  Ignored when ChaosSeed is zero.
+	ChaosPlan fault.NetPlanOptions
+	// Worker is the template for every worker's options: Hook, ID and
+	// Done are filled in per worker (IDs are 1..Workers unless the
+	// template carries a non-zero ID base).  Loopback workers default
+	// to a fast retry schedule (5ms base, 250ms cap) and effectively
+	// unbounded attempts, since the coordinator is in-process and a
+	// retry loop should never be the reason a test hangs.
+	Worker WorkerOptions
+}
+
+// LoopbackChaos is Loopback with reconnect-grade worker options and an
+// optional deterministic network-chaos proxy on the wire.  When chaos
+// ran and the run produced stats, the report's Recovery block carries
+// the chaos seed and total events fired, so a soak verdict is auditable
+// from the report alone.
+func LoopbackChaos(cfg LoopbackConfig, job Job, opts Options) (*valency.Report, error) {
+	if cfg.Workers < 1 {
 		return nil, fmt.Errorf("dist: loopback needs at least one worker")
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -30,11 +64,39 @@ func Loopback(workers int, job Job, opts Options, hooks ...func(batchID int64)) 
 	defer ln.Close()
 	addr := ln.Addr().String()
 
+	var chaos *fault.NetChaos
+	var proxy *fault.NetProxy
+	if cfg.ChaosSeed != 0 {
+		plan := cfg.ChaosPlan
+		if plan == (fault.NetPlanOptions{}) {
+			plan = fault.DefaultNetPlan()
+		}
+		chaos = fault.NewNetChaos(cfg.ChaosSeed, plan)
+		proxy, err = fault.NewNetProxy(addr, chaos)
+		if err != nil {
+			return nil, err
+		}
+		defer proxy.Close()
+		addr = proxy.Addr()
+	}
+
+	done := make(chan struct{})
 	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		var hook func(int64)
-		if i < len(hooks) {
-			hook = hooks[i]
+	for i := 0; i < cfg.Workers; i++ {
+		wopts := cfg.Worker
+		if i < len(cfg.Hooks) {
+			wopts.Hook = cfg.Hooks[i]
+		}
+		wopts.ID += uint64(i + 1)
+		wopts.Done = done
+		if wopts.MaxAttempts == 0 {
+			wopts.MaxAttempts = 1 << 20
+		}
+		if wopts.BaseBackoff == 0 {
+			wopts.BaseBackoff = 5e6 // 5ms
+		}
+		if wopts.MaxBackoff == 0 {
+			wopts.MaxBackoff = 250e6 // 250ms
 		}
 		wg.Add(1)
 		go func() {
@@ -45,16 +107,24 @@ func Loopback(workers int, job Job, opts Options, hooks ...func(batchID int64)) 
 			defer func() { _ = recover() }()
 			// Worker errors are not the test's verdict: a worker killed
 			// by Stop or by coordinator shutdown errors out by design.
-			_ = Work(addr, WorkerOptions{Hook: hook})
+			_ = Work(addr, wopts)
 		}()
 	}
 
-	rep, err := Serve(ln, workers, job, opts)
+	rep, err := Serve(ln, cfg.Workers, job, opts)
 	// Serve's exit closes every accepted connection; closing the
-	// listener also resets workers Serve never accepted (it can fail
-	// validation before accepting anyone).  Only then is it safe to
-	// wait for the worker loops to drain.
+	// listener (and the chaos proxy) resets anything in flight, and
+	// closing done stops the worker retry loops.  Only then is it safe
+	// to wait for the worker goroutines to drain.
 	ln.Close()
+	if proxy != nil {
+		proxy.Close()
+	}
+	close(done)
 	wg.Wait()
+	if chaos != nil && rep != nil && rep.Stats != nil && rep.Stats.Recovery != nil {
+		rep.Stats.Recovery.ChaosSeed = chaos.Seed()
+		rep.Stats.Recovery.ChaosEvents = chaos.Events()
+	}
 	return rep, err
 }

@@ -21,7 +21,7 @@ import (
 // before they can poison the mirror.
 
 const (
-	msgHello byte = iota + 1 // worker→coord: wire version
+	msgHello byte = iota + 1 // worker→coord: wire version + stable identity
 	msgJob                   // coord→worker: job + current input vector
 	msgBatch                 // coord→worker: frontier items to process
 	msgDone                  // worker→coord: atomic effects of one batch
@@ -30,7 +30,39 @@ const (
 	msgStop                  // coord→worker: job finished, disconnect
 )
 
-const wireVersion = 1
+// Version 2 extended HELLO with the worker's stable identity, which is
+// what lets a reconnecting worker rejoin as itself instead of counting
+// as a new peer.
+const wireVersion = 2
+
+// helloMsg announces a worker: its wire version and its stable identity
+// (non-zero, constant across reconnects of the same worker).
+type helloMsg struct {
+	Version  uint64
+	Identity uint64
+}
+
+func (m helloMsg) encode() []byte {
+	b := putUvarint(nil, m.Version)
+	return putUvarint(b, m.Identity)
+}
+
+func decodeHello(p []byte) (helloMsg, error) {
+	r := &wreader{b: p}
+	var m helloMsg
+	m.Version = r.uvarint("hello version")
+	m.Identity = r.uvarint("hello identity")
+	if err := r.err(); err != nil {
+		return helloMsg{}, err
+	}
+	if m.Version != wireVersion {
+		return helloMsg{}, fmt.Errorf("dist: peer speaks wire version %d, want %d", m.Version, wireVersion)
+	}
+	if m.Identity == 0 {
+		return helloMsg{}, fmt.Errorf("dist: worker identity must be non-zero")
+	}
+	return m, nil
+}
 
 // maxFrame bounds a frame so a corrupted length prefix cannot allocate
 // unboundedly.  Emit-heavy DONE frames dominate; 1<<26 (64 MiB) is far
@@ -150,6 +182,11 @@ func (r *wreader) err() error {
 // --- messages ---
 
 // jobMsg carries everything a worker needs to check one input vector.
+// Epoch identifies the vector (1-based index in canonical order): the
+// network may drop, reorder, or duplicate whole frames, so every batch
+// and every completion is stamped with the epoch of the job it belongs
+// to — a worker that missed a JOB frame is detected by the mismatch
+// instead of silently exploring the wrong input vector's state space.
 type jobMsg struct {
 	Spec       ProtoSpec
 	Inputs     []int64
@@ -157,6 +194,7 @@ type jobMsg struct {
 	Crash      []int
 	Workers    int // worker-local pool width
 	Shards     int
+	Epoch      uint64
 }
 
 func (m jobMsg) encode() []byte {
@@ -180,6 +218,7 @@ func (m jobMsg) encode() []byte {
 	}
 	b = putUvarint(b, uint64(m.Workers))
 	b = putUvarint(b, uint64(m.Shards))
+	b = putUvarint(b, m.Epoch)
 	return b
 }
 
@@ -203,6 +242,7 @@ func decodeJob(p []byte) (jobMsg, error) {
 	}
 	m.Workers = int(r.uvarint("workers"))
 	m.Shards = int(r.uvarint("shards"))
+	m.Epoch = r.uvarint("epoch")
 	return m, r.err()
 }
 
@@ -213,14 +253,18 @@ type item struct {
 	sched []byte
 }
 
-// batchMsg dispatches frontier items to a worker.
+// batchMsg dispatches frontier items to a worker.  Epoch is the vector
+// the items belong to; a worker holding a different job epoch must not
+// process them.
 type batchMsg struct {
 	ID    int64
+	Epoch uint64
 	Items []item
 }
 
 func (m batchMsg) encode() []byte {
 	b := putUvarint(nil, uint64(m.ID))
+	b = putUvarint(b, m.Epoch)
 	b = putUvarint(b, uint64(len(m.Items)))
 	for _, it := range m.Items {
 		b = putUvarint(b, uint64(it.gid))
@@ -233,6 +277,7 @@ func decodeBatch(p []byte) (batchMsg, error) {
 	r := &wreader{b: p}
 	var m batchMsg
 	m.ID = int64(r.uvarint("batch id"))
+	m.Epoch = r.uvarint("batch epoch")
 	n := r.uvarint("batch len")
 	for i := uint64(0); i < n && r.fail == nil; i++ {
 		m.Items = append(m.Items, item{
@@ -252,9 +297,12 @@ type emit struct {
 	sched []byte
 }
 
-// doneMsg is the atomic effect set of one processed batch.
+// doneMsg is the atomic effect set of one processed batch.  Epoch
+// echoes the job epoch the worker processed the batch under: the
+// coordinator refuses effects computed against any other vector.
 type doneMsg struct {
 	ID        int64
+	Epoch     uint64
 	Generated int64
 	Violated  bool
 	Decisions []int64
@@ -263,6 +311,7 @@ type doneMsg struct {
 
 func (m doneMsg) encode() []byte {
 	b := putUvarint(nil, uint64(m.ID))
+	b = putUvarint(b, m.Epoch)
 	b = putUvarint(b, uint64(m.Generated))
 	v := uint64(0)
 	if m.Violated {
@@ -286,6 +335,7 @@ func decodeDone(p []byte) (doneMsg, error) {
 	r := &wreader{b: p}
 	var m doneMsg
 	m.ID = int64(r.uvarint("done id"))
+	m.Epoch = r.uvarint("done epoch")
 	m.Generated = int64(r.uvarint("done generated"))
 	m.Violated = r.uvarint("done violated") != 0
 	nd := r.uvarint("done decisions")

@@ -3,11 +3,15 @@ package dist
 import (
 	"bufio"
 	"bytes"
+	crand "crypto/rand"
+	"encoding/binary"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"runtime"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"randsync/internal/explore"
 	"randsync/internal/sim"
@@ -21,81 +25,244 @@ type WorkerOptions struct {
 	// that panics kills the worker mid-batch with its effects unsent,
 	// exactly the failure the recovery protocol must absorb.
 	Hook func(batchID int64)
+	// ID is the worker's stable identity, announced in every HELLO so
+	// the coordinator treats a re-handshake as a rejoin of the same
+	// peer, not a new one.  Zero picks a random identity at Work start;
+	// distinct workers must use distinct identities.
+	ID uint64
+	// ReconnectSeed seeds the backoff jitter, making the retry schedule
+	// reproducible under a fixed seed (default: derived from ID).
+	ReconnectSeed uint64
+	// MaxAttempts caps consecutive failed connection attempts before
+	// Work gives up (default 30).  A session that gets as far as a job
+	// resets the counter: only a coordinator that stays unreachable
+	// exhausts the worker.
+	MaxAttempts int
+	// BaseBackoff and MaxBackoff bound the exponential retry delay
+	// (defaults 50ms and 2s); each wait is jittered into the upper half
+	// of its window.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// NetTimeout bounds every read and write on the connection (default
+	// 30s) — a silent coordinator errors the session into the retry
+	// loop instead of wedging the worker.
+	NetTimeout time.Duration
+	// Done, when non-nil, cancels the retry loop: Work returns nil at
+	// the next retry boundary after Done closes.  It does not interrupt
+	// an established session — closing the connection does that.
+	Done <-chan struct{}
+}
+
+func (o WorkerOptions) maxAttempts() int {
+	if o.MaxAttempts <= 0 {
+		return 30
+	}
+	return o.MaxAttempts
+}
+
+func (o WorkerOptions) baseBackoff() time.Duration {
+	if o.BaseBackoff <= 0 {
+		return 50 * time.Millisecond
+	}
+	return o.BaseBackoff
+}
+
+func (o WorkerOptions) maxBackoff() time.Duration {
+	if o.MaxBackoff <= 0 {
+		return 2 * time.Second
+	}
+	return o.MaxBackoff
+}
+
+func (o WorkerOptions) netTimeout() time.Duration {
+	if o.NetTimeout <= 0 {
+		return 30 * time.Second
+	}
+	return o.NetTimeout
+}
+
+// randomID draws a non-zero identity from the OS entropy source.
+func randomID() uint64 {
+	var b [8]byte
+	for {
+		if _, err := crand.Read(b[:]); err != nil {
+			// Entropy failure: fall back to the clock; uniqueness, not
+			// unpredictability, is all an identity needs.
+			return uint64(time.Now().UnixNano()) | 1
+		}
+		if id := binary.LittleEndian.Uint64(b[:]); id != 0 {
+			return id
+		}
+	}
 }
 
 // Work connects to the coordinator at addr and processes batches until
-// the coordinator sends STOP (returns nil) or the connection dies
-// (returns the error).  A worker is stateless between batches: all
-// authority lives in the coordinator, so a worker crash at any point
-// loses only unacknowledged work.
+// the coordinator sends STOP (returns nil).  A lost connection is not
+// fatal: Work re-dials under seeded exponential backoff with jitter,
+// re-handshakes with the same identity, and resumes taking batches —
+// the coordinator recognizes the identity and treats it as a rejoin.
+// Work gives up (returning the last error) only after MaxAttempts
+// consecutive failures without reaching a job, and returns nil if
+// opts.Done closes first.
+//
+// A worker is stateless between batches: all authority lives in the
+// coordinator, so a worker crash or reconnect at any point loses only
+// unacknowledged work.
 func Work(addr string, opts WorkerOptions) error {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return err
+	if opts.ID == 0 {
+		opts.ID = randomID()
 	}
-	defer conn.Close()
-	return serveWorker(conn, opts)
+	seed := opts.ReconnectSeed
+	if seed == 0 {
+		seed = opts.ID
+	}
+	rng := rand.New(rand.NewPCG(seed, 0xbacc0ff))
+	attempts := 0
+	var lastErr error
+	for {
+		conn, err := net.DialTimeout("tcp", addr, opts.netTimeout())
+		if err == nil {
+			var progressed bool
+			// The deferred close must run even when a batch hook panics:
+			// the unwinding connection drop is what the coordinator
+			// observes as this worker's death.
+			progressed, err = func() (bool, error) {
+				defer conn.Close()
+				return serveWorker(conn, opts)
+			}()
+			if err == nil {
+				return nil // clean STOP
+			}
+			if progressed {
+				attempts = 0
+			}
+		}
+		attempts++
+		lastErr = err
+		if attempts >= opts.maxAttempts() {
+			return fmt.Errorf("dist: worker %#x giving up after %d attempts: %w", opts.ID, attempts, lastErr)
+		}
+		if !sleepBackoff(rng, opts, attempts) {
+			return nil // Done closed
+		}
+	}
+}
+
+// sleepBackoff waits the jittered exponential delay for the given
+// attempt number; it reports false if opts.Done closed instead.
+func sleepBackoff(rng *rand.Rand, opts WorkerOptions, attempt int) bool {
+	shift := attempt - 1
+	if shift > 16 {
+		shift = 16
+	}
+	d := opts.baseBackoff() << shift
+	if d <= 0 || d > opts.maxBackoff() {
+		d = opts.maxBackoff()
+	}
+	// Jitter into [d/2, d]: desynchronizes a worker fleet re-dialing a
+	// restarted coordinator without stretching the worst case.
+	d = d/2 + time.Duration(rng.Int64N(int64(d/2)+1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-opts.Done:
+		return false
+	case <-t.C:
+		return true
+	}
 }
 
 // serveWorker runs the worker protocol over an established connection.
-func serveWorker(conn net.Conn, opts WorkerOptions) error {
+// progressed reports whether the session got at least as far as a job —
+// the signal that resets the retry budget.
+func serveWorker(conn net.Conn, opts WorkerOptions) (progressed bool, err error) {
+	timeout := opts.netTimeout()
 	bw := bufio.NewWriter(conn)
-	if err := writeFrame(bw, msgHello, putUvarint(nil, wireVersion)); err != nil {
-		return err
+	flush := func() error {
+		conn.SetWriteDeadline(time.Now().Add(timeout))
+		return bw.Flush()
 	}
-	if err := bw.Flush(); err != nil {
-		return err
+	conn.SetWriteDeadline(time.Now().Add(timeout))
+	if err := writeFrame(bw, msgHello, helloMsg{Version: wireVersion, Identity: opts.ID}.encode()); err != nil {
+		return false, err
+	}
+	if err := flush(); err != nil {
+		return false, err
 	}
 	br := bufio.NewReader(conn)
 
 	var st *workerState
 	for {
+		conn.SetReadDeadline(time.Now().Add(timeout))
 		typ, payload, err := readFrame(br)
 		if err != nil {
-			return err
+			return progressed, err
 		}
 		switch typ {
 		case msgJob:
 			jm, err := decodeJob(payload)
 			if err != nil {
-				return err
+				return progressed, err
+			}
+			if st != nil && jm.Epoch <= st.epoch {
+				// A duplicated or reordered copy of a job already loaded
+				// (or of an older vector's): the loaded state is at least
+				// as new, so the frame is noise.
+				break
 			}
 			st, err = newWorkerState(jm)
 			if err != nil {
-				return err
+				return progressed, err
 			}
+			progressed = true
 		case msgBatch:
 			if st == nil {
-				return fmt.Errorf("dist: batch before job")
+				// A reordered BATCH overtook its JOB (wire chaos): error
+				// the session; the rejoin gets the job re-sent first.
+				return progressed, fmt.Errorf("dist: batch before job")
 			}
 			bm, err := decodeBatch(payload)
 			if err != nil {
-				return err
+				return progressed, err
+			}
+			if bm.Epoch > st.epoch {
+				// The batch's JOB frame was dropped or is still stuck
+				// behind it: processing against the loaded (older) vector
+				// would explore the wrong state space.  Error the session;
+				// the rejoin gets the current job re-sent first.
+				return progressed, fmt.Errorf("dist: batch epoch %d overtook job epoch %d", bm.Epoch, st.epoch)
+			}
+			if bm.Epoch < st.epoch {
+				// A duplicated leftover of an earlier vector: the
+				// coordinator has moved on and would discard the ack.
+				break
 			}
 			if opts.Hook != nil {
 				opts.Hook(bm.ID)
 			}
 			done, err := st.process(bm)
 			if err != nil {
-				return err
+				return progressed, err
 			}
+			conn.SetWriteDeadline(time.Now().Add(timeout))
 			if err := writeFrame(bw, msgDone, done.encode()); err != nil {
-				return err
+				return progressed, err
 			}
-			if err := bw.Flush(); err != nil {
-				return err
+			if err := flush(); err != nil {
+				return progressed, err
 			}
 		case msgPing:
+			conn.SetWriteDeadline(time.Now().Add(timeout))
 			if err := writeFrame(bw, msgPong, payload); err != nil {
-				return err
+				return progressed, err
 			}
-			if err := bw.Flush(); err != nil {
-				return err
+			if err := flush(); err != nil {
+				return progressed, err
 			}
 		case msgStop:
-			return nil
+			return progressed, nil
 		default:
-			return fmt.Errorf("dist: unexpected frame type %d", typ)
+			return progressed, fmt.Errorf("dist: unexpected frame type %d", typ)
 		}
 	}
 }
@@ -104,6 +271,7 @@ func serveWorker(conn net.Conn, opts WorkerOptions) error {
 type workerState struct {
 	proto  sim.Protocol
 	inputs []int64
+	epoch  uint64
 	vopts  valency.Options
 	valid  map[int64]bool
 	pool   int
@@ -117,6 +285,7 @@ func newWorkerState(jm jobMsg) (*workerState, error) {
 	st := &workerState{
 		proto:  proto,
 		inputs: jm.Inputs,
+		epoch:  jm.Epoch,
 		vopts: valency.Options{
 			NoSymmetry: jm.NoSymmetry,
 			Crash:      jm.Crash,
@@ -205,7 +374,7 @@ func (st *workerState) process(bm batchMsg) (doneMsg, error) {
 	if err, _ := firstErr.Load().(error); err != nil {
 		return doneMsg{}, err
 	}
-	done := doneMsg{ID: bm.ID, Violated: violated.Load()}
+	done := doneMsg{ID: bm.ID, Epoch: st.epoch, Violated: violated.Load()}
 	decs := make(map[int64]bool)
 	for i := range slots {
 		done.Generated += slots[i].generated

@@ -24,6 +24,23 @@ type Set struct {
 	mask   uint64
 	next   atomic.Int64 // dense id allocator; Len() == next
 	hits   atomic.Int64 // Add calls that found the key already present
+	// onBytes, when set, observes every growth of the retained key bytes
+	// (called with the delta, outside the stripe lock) — the accounting
+	// seam memory watchdogs hang off without paying Bytes()'s full-set
+	// lock sweep on the hot path.
+	onBytes func(delta int64)
+}
+
+// SetByteHook installs f as the byte-growth observer: f(delta) runs
+// after every Add that interns a new key, with the bytes that insert
+// retained.  Install before exploration starts; the hook must be safe
+// for concurrent calls (an atomic counter is the intended shape).
+func (s *Set) SetByteHook(f func(delta int64)) { s.onBytes = f }
+
+func (s *Set) grewBytes(n int64) {
+	if s.onBytes != nil {
+		s.onBytes(n)
+	}
 }
 
 // setEntry is the interned key and dense id that first claimed a
@@ -76,6 +93,7 @@ func (s *Set) Add(fp uint64, key []byte) (id int64, added bool) {
 		sh.m[fp] = setEntry{key: k, id: id}
 		sh.bytes += int64(len(k))
 		sh.mu.Unlock()
+		s.grewBytes(int64(len(k)))
 		return id, true
 	}
 	if e.key == string(key) { // comparison, not a conversion: no allocation
@@ -98,6 +116,7 @@ func (s *Set) Add(fp uint64, key []byte) (id int64, added bool) {
 	sh.coll[k] = id
 	sh.bytes += int64(len(k))
 	sh.mu.Unlock()
+	s.grewBytes(int64(len(k)))
 	return id, true
 }
 

@@ -26,6 +26,11 @@ type JSONReport struct {
 
 	Stats *Stats `json:"stats,omitempty"`
 
+	// Recovery hoists Stats.Recovery to the document top level: the
+	// self-healing audit trail of a distributed run (reconnects,
+	// re-queued batches, checkpoint resumes, chaos events fired).
+	Recovery *RecoveryStats `json:"recovery,omitempty"`
+
 	// Repro carries the tool-specific invocation context (protocol name,
 	// n, flags, seed) that reproduces this verdict; the tools fill it.
 	Repro map[string]any `json:"repro,omitempty"`
@@ -54,6 +59,9 @@ func (r *Report) JSON(repro map[string]any) *JSONReport {
 		Livelock: r.Livelock,
 		Stats:    r.Stats,
 		Repro:    repro,
+	}
+	if r.Stats != nil {
+		j.Recovery = r.Stats.Recovery
 	}
 	if !r.Complete {
 		j.Verdict = "incomplete"

@@ -53,6 +53,45 @@ type Stats struct {
 	RemoteItems int64 `json:"remote_items,omitempty"`
 	Recoveries  int64 `json:"recoveries,omitempty"`
 	Checkpoints int64 `json:"checkpoints,omitempty"`
+
+	// Recovery is the distributed engine's self-healing audit trail,
+	// nil on local runs; `distcheck -json` hoists it into the verdict
+	// document so a soak run is auditable from one artifact.
+	Recovery *RecoveryStats `json:"recovery,omitempty"`
+}
+
+// RecoveryStats itemizes every recovery action a distributed run took:
+// together with the chaos seed it is the reproducible record of what the
+// cluster survived.
+type RecoveryStats struct {
+	// Reconnects counts re-handshakes accepted from a known worker
+	// identity (rejoin, not a new peer).
+	Reconnects int64 `json:"reconnects"`
+	// WorkerDeaths counts workers declared dead (connection error,
+	// heartbeat timeout, or outbound stall).
+	WorkerDeaths int64 `json:"worker_deaths"`
+	// RequeuedBatches counts in-flight batches returned to the dispatch
+	// queue after their owner died.
+	RequeuedBatches int64 `json:"requeued_batches"`
+	// Redispatches counts speculative re-assignments of batches whose
+	// owner went slow (missed heartbeats) or whose ack timed out —
+	// idempotent reprocessing makes the possible duplicate safe.
+	Redispatches int64 `json:"speculative_redispatches"`
+	// CheckpointResumes counts coordinator restarts that reloaded a
+	// verified checkpoint instead of starting over.
+	CheckpointResumes int64 `json:"checkpoint_resumes"`
+	// CheckpointsWritten counts durable (fsync'd) snapshots written.
+	CheckpointsWritten int64 `json:"checkpoints_written"`
+	// MemPauses counts memory-backpressure episodes: stretches during
+	// which the watchdog clamped batch dispatch because the retained
+	// key bytes neared the memory budget.
+	MemPauses int64 `json:"mem_pauses,omitempty"`
+	// ChaosEvents counts wire-chaos events fired by the harness
+	// (fault.NetChaos), 0 outside chaos runs.
+	ChaosEvents int64 `json:"chaos_events,omitempty"`
+	// ChaosSeed echoes the chaos seed so the recovery sequence
+	// reproduces from the artifact alone.
+	ChaosSeed uint64 `json:"chaos_seed,omitempty"`
 }
 
 // Rate returns configurations per second for the given visited count.
@@ -102,6 +141,13 @@ func checkParallel(proto sim.Protocol, inputs []int64, opts Options) *Report {
 
 	legacy := opts.LegacyKeys
 	set := explore.NewSet(workers * 8)
+	var memBytes atomic.Int64
+	if opts.MemBudget > 0 {
+		set.SetByteHook(func(d int64) { memBytes.Add(d) })
+	}
+	overMem := func() bool {
+		return opts.MemBudget > 0 && memBytes.Load() >= opts.MemBudget
+	}
 	ws := make([]pwork, workers)
 	for i := range ws {
 		ws[i].decisions = make(map[int64]bool)
@@ -157,7 +203,7 @@ func checkParallel(proto sim.Protocol, inputs []int64, opts Options) *Report {
 					if !added {
 						continue
 					}
-					if id >= budget {
+					if id >= budget || overMem() {
 						incomplete.Store(true)
 						ctx.Stop()
 						return
@@ -180,7 +226,7 @@ func checkParallel(proto sim.Protocol, inputs []int64, opts Options) *Report {
 				id, added = set.Add(sim.FingerprintBytes(w.buf), w.buf)
 				w.edges = append(w.edges, explore.Edge{From: t.id, To: id})
 				if added {
-					if id >= budget {
+					if id >= budget || overMem() {
 						incomplete.Store(true)
 						ctx.Stop()
 						return

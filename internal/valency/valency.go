@@ -79,6 +79,13 @@ type Options struct {
 	// MaxConfigs caps the number of distinct configurations explored;
 	// beyond it the report is marked incomplete.  0 means 1<<20.
 	MaxConfigs int
+	// MemBudget caps the visited-set key bytes an exploration may retain
+	// (the dominant memory cost of an exhaustive run); beyond it the
+	// report is marked incomplete, exactly like an exhausted MaxConfigs.
+	// 0 means unlimited.  The distributed coordinator enforces the same
+	// cap on its shard mirrors and additionally applies dispatch
+	// backpressure as the budget approaches (see internal/dist).
+	MemBudget int64
 	// Workers sets the number of exploration workers.  0 or 1 selects
 	// the serial depth-first engine (the canonical reference); values
 	// above 1 select the parallel engine with that many workers; any
@@ -341,7 +348,7 @@ func (ch *checker) explore(c *sim.Config) bool {
 	case 2:
 		return false
 	}
-	if len(ch.visited) >= ch.opts.Budget() {
+	if len(ch.visited) >= ch.opts.Budget() || ch.overMemBudget() {
 		ch.rep.Complete = false
 		return true
 	}
@@ -363,7 +370,7 @@ func (ch *checker) exploreLegacy(c *sim.Config) bool {
 	case 2:
 		return false
 	}
-	if len(ch.visited) >= ch.opts.Budget() {
+	if len(ch.visited) >= ch.opts.Budget() || ch.overMemBudget() {
 		ch.rep.Complete = false
 		return true
 	}
@@ -372,6 +379,12 @@ func (ch *checker) exploreLegacy(c *sim.Config) bool {
 	stop := ch.expand(c)
 	ch.visited[key] = 2
 	return stop
+}
+
+// overMemBudget reports whether retained key bytes have exhausted the
+// memory budget (MemBudget 0 = unlimited).
+func (ch *checker) overMemBudget() bool {
+	return ch.opts.MemBudget > 0 && ch.keyBytes >= ch.opts.MemBudget
 }
 
 // expand checks c for violations and branches over every scheduler and

@@ -20,16 +20,27 @@
 # space), not a speedup; the configs/s of each engine is recorded so a
 # multi-machine run has a baseline to beat.
 #
-# Usage: scripts/bench.sh [output.json] [dist-output.json]
-#        (defaults: BENCH_pr3.json BENCH_pr4.json)
+# A third stage runs BenchmarkRecoveryOverhead (internal/dist) and emits
+# BENCH_pr5.json: the same loopback job over a clean wire versus behind
+# the seeded network-chaos proxy, with recovery clocks tuned down so the
+# chaos run measures reconnect/re-dispatch work rather than production
+# timeouts.  The acceptance check is configuration-count equality across
+# the two wires — chaos may slow the run, never change the verdict — and
+# the slowdown ratio plus chaos-event and recovery counts are recorded
+# so the cost of self-healing is tracked run over run.
+#
+# Usage: scripts/bench.sh [output.json] [dist-output.json] [recovery-output.json]
+#        (defaults: BENCH_pr3.json BENCH_pr4.json BENCH_pr5.json)
 set -eu
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_pr3.json}"
 distout="${2:-BENCH_pr4.json}"
+recout="${3:-BENCH_pr5.json}"
 raw="$(mktemp)"
 distraw="$(mktemp)"
-trap 'rm -f "$raw" "$distraw"' EXIT
+recraw="$(mktemp)"
+trap 'rm -f "$raw" "$distraw" "$recraw"' EXIT
 
 # Fixed per-package bench budgets: the exploration workloads are
 # whole-space runs (one op = one exhaustive check), so 1x is already a
@@ -48,7 +59,7 @@ run_bench ./internal/hierarchy 1x
 run_bench ./internal/universal 2000x
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
-function jnum(v) { return (v == int(v)) ? sprintf("%d", v) : sprintf("%.6g", v) }
+function jnum(v) { return (v == int(v)) ? sprintf("%.0f", v) : sprintf("%.6g", v) }
 /^goos: /  { goos = $2 }
 /^goarch: / { goarch = $2 }
 /^cpu: /   { sub(/^cpu: /, ""); cpu = $0 }
@@ -121,7 +132,7 @@ echo "== ./internal/dist (-benchtime=1x)" >&2
 go test -run=NONE -bench='^BenchmarkExploreDist' -benchtime=1x -timeout 20m ./internal/dist | tee "$distraw" >&2
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
-function jnum(v) { return (v == int(v)) ? sprintf("%d", v) : sprintf("%.6g", v) }
+function jnum(v) { return (v == int(v)) ? sprintf("%.0f", v) : sprintf("%.6g", v) }
 /^goos: /  { goos = $2 }
 /^goarch: / { goarch = $2 }
 /^cpu: /   { sub(/^cpu: /, ""); cpu = $0 }
@@ -177,3 +188,58 @@ if ! grep -q '"pass": true' "$distout"; then
 	exit 1
 fi
 echo "bench.sh: dist acceptance passed"
+
+# ---- recovery stage: clean wire vs seeded network chaos ----
+echo "== ./internal/dist recovery (-benchtime=1x)" >&2
+go test -run=NONE -bench='^BenchmarkRecoveryOverhead' -benchtime=1x -timeout 20m ./internal/dist | tee "$recraw" >&2
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+function jnum(v) { return (v == int(v)) ? sprintf("%.0f", v) : sprintf("%.6g", v) }
+/^goos: /  { goos = $2 }
+/^goarch: / { goarch = $2 }
+/^cpu: /   { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	iters = $2
+	m = ""
+	for (i = 3; i + 1 <= NF; i += 2) {
+		val = $(i); unit = $(i + 1)
+		if (m != "") m = m ", "
+		m = m sprintf("\"%s\": %s", unit, jnum(val))
+		metric[name, unit] = val
+	}
+	if (benches != "") benches = benches ",\n"
+	benches = benches sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"metrics\": {%s}}", name, iters, m)
+}
+END {
+	printf "{\n"
+	printf "  \"generated\": \"%s\",\n", date
+	printf "  \"host\": {\"goos\": \"%s\", \"goarch\": \"%s\", \"cpu\": \"%s\"},\n", goos, goarch, cpu
+	printf "  \"benchmarks\": [\n%s\n  ],\n", benches
+	root = "BenchmarkRecoveryOverhead/wire="
+	clean = root "clean"; chaos = root "chaos"
+	have = ((clean, "configs") in metric) && ((chaos, "configs") in metric)
+	equal = have && (metric[clean, "configs"] == metric[chaos, "configs"])
+	slowdown = (have && metric[clean, "ns/op"] > 0) ? metric[chaos, "ns/op"] / metric[clean, "ns/op"] : 0
+	printf "  \"acceptance\": {\n"
+	printf "    \"benchmark\": \"BenchmarkRecoveryOverhead\",\n"
+	printf "    \"workload\": \"counter-walk n=3, inputs 0,1,1, loopback 4 workers, default chaos plan, fast recovery clocks\",\n"
+	printf "    \"criterion\": \"chaos wire explores the identical configuration count as the clean wire, same run\",\n"
+	printf "    \"clean_configs\": %s,\n", have ? jnum(metric[clean, "configs"]) : "null"
+	printf "    \"chaos_configs\": %s,\n", have ? jnum(metric[chaos, "configs"]) : "null"
+	printf "    \"chaos_events\": %s,\n", ((chaos, "chaos-events") in metric) ? jnum(metric[chaos, "chaos-events"]) : "null"
+	printf "    \"recoveries\": %s,\n", ((chaos, "recoveries") in metric) ? jnum(metric[chaos, "recoveries"]) : "null"
+	printf "    \"chaos_vs_clean_slowdown\": %.3f,\n", slowdown
+	printf "    \"pass\": %s\n", equal ? "true" : "false"
+	printf "  }\n"
+	printf "}\n"
+}
+' "$recraw" > "$recout"
+
+echo "wrote $recout"
+if ! grep -q '"pass": true' "$recout"; then
+	echo "bench.sh: FAILED recovery acceptance — chaos wire and clean wire disagree on configuration count" >&2
+	exit 1
+fi
+echo "bench.sh: recovery acceptance passed"

@@ -34,6 +34,18 @@ stage="dist loopback smoke"
 # End-to-end cluster smoke: coordinator plus two in-process TCP workers
 # must reproduce the serial verdict on a small exhaustive job.
 go run ./cmd/distcheck -loopback 2 -shards 8 -protocol counter-walk -n 2 -all | grep -q "SAFE"
+stage="dist-chaos smoke"
+# Self-healing smoke: the same cluster behind the deterministic
+# network-chaos proxy (seeded drops, delays, duplicates, reorders,
+# truncations, cuts) must still report SAFE.  The recovery clocks are
+# tuned down so dropped frames cost milliseconds, not the production
+# 10s timeouts; the seed makes a failure reproducible verbatim.  The
+# worker-kill-under-chaos and coordinator-kill + checkpoint-resume
+# drills then run as their dedicated differential tests.
+go run ./cmd/distcheck -loopback 3 -shards 8 -protocol counter-walk -n 2 -all \
+	-chaos-net-seed 7 -heartbeat 25ms -dead-after 500ms | grep -q "SAFE"
+go test -run 'TestChaosWorkerKillMidRun|TestCoordinatorRestartResume' \
+	-count=1 -timeout 5m ./internal/dist/
 stage="bench smoke"
 # One iteration of every benchmark: keeps the benchmark suites compiling
 # and their invariant checks (clean-verification assertions) honest
