@@ -194,6 +194,25 @@ func (c *Config) Clone() *Config {
 	}
 }
 
+// CloneInto copies c into dst, reusing dst's slice storage when the
+// capacities fit — the allocation-free counterpart of Clone for engines
+// that recycle frontier configurations through per-worker arenas.  A nil
+// dst allocates fresh (equivalent to Clone).  Returns dst.
+func (c *Config) CloneInto(dst *Config) *Config {
+	if dst == nil {
+		return c.Clone()
+	}
+	dst.Proto = c.Proto
+	dst.Inputs = append(dst.Inputs[:0], c.Inputs...)
+	dst.States = append(dst.States[:0], c.States...)
+	dst.Objects = append(dst.Objects[:0], c.Objects...)
+	dst.Decided = append(dst.Decided[:0], c.Decided...)
+	dst.Decision = append(dst.Decision[:0], c.Decision...)
+	dst.Steps = append(dst.Steps[:0], c.Steps...)
+	dst.types = c.types
+	return dst
+}
+
 // Pending returns the action process pid will perform when next scheduled.
 func (c *Config) Pending(pid int) Action { return c.States[pid].Action() }
 

@@ -162,6 +162,48 @@ func TestCloneIndependence(t *testing.T) {
 	}
 }
 
+func TestCloneIntoReusesStorageIndependently(t *testing.T) {
+	c := NewConfig(writeReadProto{}, []int64{0, 1})
+	if _, err := c.Step(0, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// nil destination behaves like Clone.
+	d := c.CloneInto(nil)
+	if d.Key() != c.Key() {
+		t.Fatalf("CloneInto(nil) key %q, want %q", d.Key(), c.Key())
+	}
+
+	// Reusing a stale destination must overwrite it completely and reuse
+	// its slice storage without sharing any with the source.
+	stale := NewConfig(writeReadProto{}, []int64{1, 1})
+	for _, pid := range []int{0, 1, 1} {
+		if _, err := stale.Step(pid, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := &stale.Objects[0]
+	got := c.CloneInto(stale)
+	if got != stale {
+		t.Fatal("CloneInto must return its destination")
+	}
+	if got.Key() != c.Key() {
+		t.Fatalf("recycled clone key %q, want %q", got.Key(), c.Key())
+	}
+	if &got.Objects[0] != buf {
+		t.Fatal("CloneInto reallocated a destination slice that had capacity")
+	}
+	if _, err := c.Step(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got.Key() == c.Key() {
+		t.Fatal("recycled clone shares storage with the source")
+	}
+	if got.Steps[1] != 0 {
+		t.Fatal("recycled clone shares step counts with the source")
+	}
+}
+
 func TestApplyReplaysAndVerifies(t *testing.T) {
 	c := NewConfig(writeReadProto{}, []int64{0, 1})
 	var exec Execution

@@ -21,6 +21,10 @@ func benchWorkerCounts() []int {
 // baseline is the pre-optimization string-key engine (Config.Key + Clone
 // per step), compact adds the binary encoding with copy-on-write
 // stepping, and symmetry adds identical-process canonicalization on top.
+// striped pins the previous parallel engine (shared lock-striped visited
+// set) with the same keys as symmetry, so the sharded-vs-striped scaling
+// gap reads directly off the symmetry and striped rows at equal worker
+// counts (at workers=1 both route to the identical serial engine).
 func benchEngines() []struct {
 	name string
 	opts Options
@@ -32,6 +36,7 @@ func benchEngines() []struct {
 		{"baseline", Options{LegacyKeys: true}},
 		{"compact", Options{NoSymmetry: true}},
 		{"symmetry", Options{}},
+		{"striped", Options{LegacyStriped: true}},
 	}
 }
 

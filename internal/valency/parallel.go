@@ -43,6 +43,16 @@ type Stats struct {
 	MinStripeKeys int64 `json:"min_stripe_keys,omitempty"`
 	MaxStripeKeys int64 `json:"max_stripe_keys,omitempty"`
 
+	// Shard-owned engine counters (explore.RunSharded), zero on the
+	// serial and legacy-striped engines.  HandoffBatches/HandoffItems
+	// count cross-shard successor traffic — the only hot-path lock the
+	// sharded engine takes, one acquisition per batch — and
+	// RecycledBatches counts batch buffers reused from per-worker arenas
+	// instead of allocated fresh.
+	HandoffBatches  int64 `json:"handoff_batches,omitempty"`
+	HandoffItems    int64 `json:"handoff_items,omitempty"`
+	RecycledBatches int64 `json:"recycled_batches,omitempty"`
+
 	// Distributed-engine counters, zero on local runs.  Shards is the
 	// fingerprint-partition width, Batches the number of work batches the
 	// coordinator dispatched and acked, RemoteItems the cross-shard
@@ -331,7 +341,7 @@ func checkAllInputsParallel(proto sim.Protocol, n int, opts Options) *Report {
 		})
 	} else {
 		for i := range reports {
-			reports[i] = checkParallel(proto, inputVector(i, n), opts)
+			reports[i] = checkConfigParallel(proto, inputVector(i, n), opts)
 		}
 	}
 
@@ -356,6 +366,9 @@ func checkAllInputsParallel(proto sim.Protocol, n int, opts Options) *Report {
 			aggStats.PeakFrontier += rep.Stats.PeakFrontier
 			aggStats.KeyBytes += rep.Stats.KeyBytes
 			aggStats.Collisions += rep.Stats.Collisions
+			aggStats.HandoffBatches += rep.Stats.HandoffBatches
+			aggStats.HandoffItems += rep.Stats.HandoffItems
+			aggStats.RecycledBatches += rep.Stats.RecycledBatches
 			if rep.Stats.Stripes > aggStats.Stripes {
 				aggStats.Stripes = rep.Stats.Stripes
 			}

@@ -178,6 +178,103 @@ func shuffledVerdict(p sim.Protocol, inputs []int64, seed int64) (map[int64]bool
 	return decisions, kinds
 }
 
+// engineVariants is the option matrix the sharded/striped/serial
+// differential sweeps: plain runs, an explicit crash schedule (which
+// also turns symmetry reduction off and exercises the crash-suffixed
+// visit keys), and symmetry reduction disabled outright.
+func engineVariants() []struct {
+	name string
+	opts Options
+} {
+	return []struct {
+		name string
+		opts Options
+	}{
+		{"base", Options{}},
+		{"crash", Options{Crash: []int{2, -1}}},
+		{"nosym", Options{NoSymmetry: true}},
+	}
+}
+
+// TestShardedStripedSerialMatrix is the engine differential matrix: for
+// every protocol in the zoo × every option variant × several worker
+// counts, the shard-owned engine and the legacy striped engine must both
+// reproduce the serial verdict byte-identically — Complete, Configs,
+// Violation (kind, detail, exact trace), Decisions, and Livelock.
+func TestShardedStripedSerialMatrix(t *testing.T) {
+	workerCounts := []int{2, 4, 7}
+	if testing.Short() {
+		workerCounts = []int{4}
+	}
+	for _, p := range diffProtocols() {
+		for _, v := range engineVariants() {
+			serial := Check(p, []int64{0, 1}, v.opts)
+			for _, workers := range workerCounts {
+				sh := v.opts
+				sh.Workers = workers
+				sharded := Check(p, []int64{0, 1}, sh)
+				requireSameReport(t, p.Name()+"/"+v.name+"/sharded", serial, sharded)
+
+				st := sh
+				st.LegacyStriped = true
+				striped := Check(p, []int64{0, 1}, st)
+				requireSameReport(t, p.Name()+"/"+v.name+"/striped", serial, striped)
+			}
+		}
+	}
+}
+
+// TestShardedAllInputsDifferential covers the CheckAllInputs path at a
+// worker count high enough (8 > 2·vectors at n=2) to force the
+// configuration-level engines rather than the vector-level serial
+// fan-out, for both the sharded default and the striped escape hatch.
+func TestShardedAllInputsDifferential(t *testing.T) {
+	for _, p := range diffProtocols() {
+		for _, v := range engineVariants() {
+			if testing.Short() && v.name != "base" {
+				continue
+			}
+			serial := CheckAllInputs(p, 2, v.opts)
+			sh := v.opts
+			sh.Workers = 8
+			requireSameReport(t, p.Name()+"/"+v.name+"/sharded", serial, CheckAllInputs(p, 2, sh))
+			st := sh
+			st.LegacyStriped = true
+			requireSameReport(t, p.Name()+"/"+v.name+"/striped", serial, CheckAllInputs(p, 2, st))
+		}
+	}
+}
+
+// TestShardedEnginesAgreeAcrossWorkerCounts: two sharded runs with
+// different worker counts — and a striped run — agree with each other
+// directly (not merely with serial), and the sharded run carries the
+// shard-engine telemetry: one stripe per worker and, on a space this
+// size, actual cross-shard hand-off traffic.
+func TestShardedEnginesAgreeAcrossWorkerCounts(t *testing.T) {
+	p := protocol.NewCounterWalk(2)
+	a := CheckAllInputs(p, 2, Options{Workers: 8})
+	b := CheckAllInputs(p, 2, Options{Workers: 3})
+	c := CheckAllInputs(p, 2, Options{Workers: 8, LegacyStriped: true})
+	requireSameReport(t, p.Name(), a, b)
+	requireSameReport(t, p.Name(), a, c)
+	if a.Stats == nil {
+		t.Fatal("sharded run must carry Stats telemetry")
+	}
+	single := Check(p, []int64{0, 1}, Options{Workers: 4})
+	if single.Stats.Stripes != 4 {
+		t.Fatalf("sharded census stripes = %d, want one per worker (4)", single.Stats.Stripes)
+	}
+	if single.Stats.HandoffItems == 0 {
+		t.Fatal("sharded run recorded no cross-shard hand-off items")
+	}
+	if single.Stats.HandoffBatches == 0 {
+		t.Fatal("sharded run recorded no hand-off batches")
+	}
+	if single.Stats.KeyBytes <= 0 {
+		t.Fatal("sharded run retained no key bytes")
+	}
+}
+
 // TestQuickOrderIndependence (testing/quick): shuffling the frontier pop
 // order never changes the decided-values set or the violation kinds of
 // the full reachable space — for a clean randomized protocol and for two

@@ -30,6 +30,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"randsync/internal/sim"
@@ -114,6 +115,14 @@ type Options struct {
 	// knob pins the pre-optimization baseline for differential tests and
 	// benchmarks.  LegacyKeys implies NoSymmetry.
 	LegacyKeys bool
+	// LegacyStriped selects the previous parallel engine — a shared
+	// lock-striped visited set (explore.Set) over the per-item
+	// work-stealing pool — instead of the shard-owned engine
+	// (explore.RunSharded).  Verdicts are identical either way; the knob
+	// pins the pre-sharding baseline for differential tests and
+	// benchmarks.  LegacyKeys implies LegacyStriped: the string-key path
+	// was never ported to the sharded engine.
+	LegacyStriped bool
 }
 
 // Budget returns the effective configuration budget (MaxConfigs with its
@@ -253,9 +262,41 @@ type checker struct {
 // is identical to a serial run's.
 func Check(proto sim.Protocol, inputs []int64, opts Options) *Report {
 	if opts.workers() > 1 {
-		return checkParallel(proto, inputs, opts)
+		return checkConfigParallel(proto, inputs, opts)
 	}
 	return checkSerial(proto, inputs, opts)
+}
+
+// checkerPool recycles serial-checker state across runs.  The hierarchy
+// machine search drives hundreds of thousands of small CheckAllInputs
+// runs through checkSerial; allocating a fresh visited map (plus valid
+// map, key scratch and execution path) for every one of them made the
+// search allocation-bound — flat across worker counts, because every
+// worker fed the same collector.  Cleared maps keep their buckets, so a
+// pooled checker's steady-state cost is the exploration itself.
+var checkerPool = sync.Pool{New: func() any {
+	return &checker{
+		visited: make(map[string]uint8),
+		valid:   make(map[int64]bool),
+	}
+}}
+
+// checkerPoolMaxVisited bounds the visited-map size a pooled checker may
+// retain: one that just explored a huge space is dropped to the
+// collector rather than pinning its buckets for the pool's lifetime.
+const checkerPoolMaxVisited = 1 << 15
+
+func putChecker(ch *checker) {
+	if len(ch.visited) > checkerPoolMaxVisited {
+		return
+	}
+	clear(ch.visited)
+	clear(ch.valid)
+	ch.path = ch.path[:0]
+	ch.opts = Options{}
+	ch.rep = nil
+	ch.keyBytes = 0
+	checkerPool.Put(ch)
 }
 
 // checkSerial is the canonical depth-first engine: its first violation
@@ -267,12 +308,9 @@ func checkSerial(proto sim.Protocol, inputs []int64, opts Options) *Report {
 		Decisions: make(map[int64]bool),
 		Complete:  true,
 	}
-	ch := &checker{
-		opts:    opts,
-		visited: make(map[string]uint8),
-		rep:     rep,
-		valid:   make(map[int64]bool, len(inputs)),
-	}
+	ch := checkerPool.Get().(*checker)
+	ch.opts = opts
+	ch.rep = rep
 	for _, in := range inputs {
 		ch.valid[in] = true
 	}
@@ -285,6 +323,7 @@ func checkSerial(proto sim.Protocol, inputs []int64, opts Options) *Report {
 		rep.Complete = false
 	}
 	rep.Stats = &Stats{Workers: 1, KeyBytes: ch.keyBytes, Elapsed: time.Since(start)}
+	putChecker(ch)
 	return rep
 }
 

@@ -29,18 +29,39 @@
 # the slowdown ratio plus chaos-event and recovery counts are recorded
 # so the cost of self-healing is tracked run over run.
 #
-# Usage: scripts/bench.sh [output.json] [dist-output.json] [recovery-output.json]
-#        (defaults: BENCH_pr3.json BENCH_pr4.json BENCH_pr5.json)
+# A fourth stage re-parses the stage-one raw output into BENCH_pr6.json:
+# the multicore scaling record for the shard-owned engine (PR 6).  It
+# tabulates configs/s at every worker count for the sharded engine
+# (engine=symmetry/compact, which dispatch to explore.RunSharded at
+# workers>1) against the legacy lock-striped engine (engine=striped,
+# Options.LegacyStriped), plus machines/s for the hierarchy search.  The
+# acceptance check is core-aware, because scaling is physically bounded
+# by the cores actually present: on >=4 cores the sharded engine must
+# reach >=2.5x configs/s at workers=4 vs workers=1 and the hierarchy
+# search must no longer be flat (>=1.5x); on fewer cores — where
+# workers=1 routes to the clone-free serial engine that any parallel
+# engine can at best approach — the gate is instead that the sharded
+# engine stays within tolerance of the striped engine it replaces
+# (>=0.55x configs/s at the same worker count), i.e. the regression the
+# sharding exists to fix on real cores is not reintroduced as a
+# single-core penalty.  The core count is recorded in the artifact so a
+# reader knows which criterion applied.
+#
+# Usage: scripts/bench.sh [output.json] [dist-output.json] [recovery-output.json] [scaling-output.json]
+#        (defaults: BENCH_pr3.json BENCH_pr4.json BENCH_pr5.json BENCH_pr6.json)
 set -eu
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_pr3.json}"
 distout="${2:-BENCH_pr4.json}"
 recout="${3:-BENCH_pr5.json}"
+scaleout="${4:-BENCH_pr6.json}"
 raw="$(mktemp)"
 distraw="$(mktemp)"
 recraw="$(mktemp)"
 trap 'rm -f "$raw" "$distraw" "$recraw"' EXIT
+
+cores="$( (nproc || getconf _NPROCESSORS_ONLN || echo 1) 2>/dev/null | head -1 )"
 
 # Fixed per-package bench budgets: the exploration workloads are
 # whole-space runs (one op = one exhaustive check), so 1x is already a
@@ -243,3 +264,116 @@ if ! grep -q '"pass": true' "$recout"; then
 	exit 1
 fi
 echo "bench.sh: recovery acceptance passed"
+
+# ---- scaling stage: shard-owned engine vs striped vs serial, per core count ----
+# Re-parses the stage-one raw output (same run, same machine): the
+# valency BenchmarkExploreParallel engine x workers grid and the
+# hierarchy BenchmarkExploreParallel workers ladder.
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v cores="$cores" '
+function jnum(v) { return (v == int(v)) ? sprintf("%.0f", v) : sprintf("%.6g", v) }
+/^goos: /  { goos = $2 }
+/^goarch: / { goarch = $2 }
+/^cpu: /   { sub(/^cpu: /, ""); cpu = $0 }
+/^pkg: /   { pkg = $2 }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	for (i = 3; i + 1 <= NF; i += 2) metric[name, $(i + 1)] = $(i)
+	vroot = "BenchmarkExploreParallel/engine="
+	if (pkg ~ /internal\/valency$/ && index(name, vroot) == 1) {
+		rest = substr(name, length(vroot) + 1)
+		split(rest, parts, "/workers=")
+		eng = parts[1]; w = parts[2] + 0
+		cps[eng, w] = metric[name, "configs/s"]
+		if (!(eng in engseen)) { engseen[eng] = ++ne; engname[ne] = eng }
+		if (!(w in wseen)) { wseen[w] = ++nw; wval[nw] = w }
+	}
+	hroot = "BenchmarkExploreParallel/workers="
+	if (pkg ~ /internal\/hierarchy$/ && index(name, hroot) == 1) {
+		w = substr(name, length(hroot) + 1) + 0
+		mps[w] = metric[name, "machines/s"]
+		if (!(w in hwseen)) { hwseen[w] = ++nhw; hwval[nhw] = w }
+	}
+}
+END {
+	printf "{\n"
+	printf "  \"generated\": \"%s\",\n", date
+	printf "  \"host\": {\"goos\": \"%s\", \"goarch\": \"%s\", \"cpu\": \"%s\", \"cores\": %d},\n", goos, goarch, cpu, cores
+	# Per-engine scaling table: configs/s per worker count plus the ratio
+	# against the same engine at workers=1 (the serial reference).
+	rows = ""
+	for (e = 1; e <= ne; e++) {
+		eng = engname[e]
+		for (i = 1; i <= nw; i++) {
+			w = wval[i]
+			if (!((eng, w) in cps)) continue
+			ratio = (cps[eng, 1] > 0) ? cps[eng, w] / cps[eng, 1] : 0
+			if (rows != "") rows = rows ",\n"
+			rows = rows sprintf("    {\"engine\": \"%s\", \"workers\": %d, \"configs_per_sec\": %s, \"vs_workers1\": %.3f}",
+				eng, w, jnum(cps[eng, w]), ratio)
+		}
+	}
+	printf "  \"exploration_scaling\": [\n%s\n  ],\n", rows
+	hrows = ""
+	for (i = 1; i <= nhw; i++) {
+		w = hwval[i]
+		ratio = (mps[1] > 0) ? mps[w] / mps[1] : 0
+		if (hrows != "") hrows = hrows ",\n"
+		hrows = hrows sprintf("    {\"workers\": %d, \"machines_per_sec\": %s, \"vs_workers1\": %.3f}",
+			w, jnum(mps[w]), ratio)
+	}
+	printf "  \"hierarchy_scaling\": [\n%s\n  ],\n", hrows
+	# Core-aware acceptance.
+	multicore = (cores >= 4)
+	pass = 1; checks = ""
+	if (multicore) {
+		ok1 = 0
+		if ((("compact", 4) in cps) && cps["compact", 1] > 0 && cps["compact", 4] >= 2.5 * cps["compact", 1]) ok1 = 1
+		if ((("symmetry", 4) in cps) && cps["symmetry", 1] > 0 && cps["symmetry", 4] >= 2.5 * cps["symmetry", 1]) ok1 = 1
+		checks = sprintf("      {\"check\": \"sharded workers=4 >= 2.5x workers=1 (compact or symmetry)\", \"pass\": %s}", ok1 ? "true" : "false")
+		ok2 = ((4 in mps) && mps[1] > 0 && mps[4] >= 1.5 * mps[1]) ? 1 : 0
+		checks = checks sprintf(",\n      {\"check\": \"hierarchy workers=4 >= 1.5x workers=1 (no longer flat)\", \"pass\": %s}", ok2 ? "true" : "false")
+		pass = ok1 && ok2
+	} else {
+		nchk = 0
+		for (i = 1; i <= nw; i++) {
+			w = wval[i]
+			if (w == 1 || !(("symmetry", w) in cps) || !(("striped", w) in cps) || cps["striped", w] <= 0) continue
+			r = cps["symmetry", w] / cps["striped", w]
+			ok = (r >= 0.55) ? 1 : 0
+			if (!ok) pass = 0
+			if (checks != "") checks = checks ",\n"
+			checks = checks sprintf("      {\"check\": \"sharded >= 0.55x striped at workers=%d (single-core tolerance)\", \"ratio\": %.3f, \"pass\": %s}",
+				w, r, ok ? "true" : "false")
+			nchk++
+		}
+		if ((4 in mps) && mps[1] > 0) {
+			r = mps[4] / mps[1]
+			ok = (r >= 0.7) ? 1 : 0
+			if (!ok) pass = 0
+			if (checks != "") checks = checks ",\n"
+			checks = checks sprintf("      {\"check\": \"hierarchy workers=4 >= 0.7x workers=1 (no starved-core regression)\", \"ratio\": %.3f, \"pass\": %s}",
+				r, ok ? "true" : "false")
+			nchk++
+		}
+		if (nchk == 0) pass = 0
+	}
+	printf "  \"acceptance\": {\n"
+	printf "    \"benchmark\": \"BenchmarkExploreParallel (valency engine grid + hierarchy search)\",\n"
+	printf "    \"cores\": %d,\n", cores
+	crit = ">=4 cores: sharded engine >=2.5x configs/s at workers=4 vs workers=1, hierarchy search >=1.5x"
+	if (!multicore) crit = "<4 cores: scaling unmeasurable (workers=1 is the clone-free serial engine); sharded must stay within 0.55x of the striped engine it replaces, hierarchy within 0.7x of serial"
+	printf "    \"criterion\": \"%s\",\n", crit
+	printf "    \"checks\": [\n%s\n    ],\n", checks
+	printf "    \"pass\": %s\n", (pass ? "true" : "false")
+	printf "  }\n"
+	printf "}\n"
+}
+' "$raw" > "$scaleout"
+
+echo "wrote $scaleout"
+if ! grep -q '"pass": true' "$scaleout"; then
+	echo "bench.sh: FAILED scaling acceptance — see $scaleout" >&2
+	exit 1
+fi
+echo "bench.sh: scaling acceptance passed"

@@ -46,6 +46,18 @@ go run ./cmd/distcheck -loopback 3 -shards 8 -protocol counter-walk -n 2 -all \
 	-chaos-net-seed 7 -heartbeat 25ms -dead-after 500ms | grep -q "SAFE"
 go test -run 'TestChaosWorkerKillMidRun|TestCoordinatorRestartResume' \
 	-count=1 -timeout 5m ./internal/dist/
+stage="shard-engine race smoke"
+# The shard-owned exploration engine is the hot path every certificate
+# now rides; pin a focused non-short race pass over its hand-off queues,
+# arena recycling, and the engine differential matrix, so a data race in
+# the sharded engine fails the gate by name even if the broad -short
+# race pass above is ever narrowed.
+go test -race -count=1 -timeout 10m \
+	-run 'TestRunShardedRecycleStress|TestRunShardedMatchesSerialReach|TestQuickShardedOrderIndependence' \
+	./internal/explore/
+go test -race -count=1 -timeout 10m \
+	-run 'TestShardedStripedSerialMatrix|TestShardedEnginesAgreeAcrossWorkerCounts' \
+	./internal/valency/
 stage="bench smoke"
 # One iteration of every benchmark: keeps the benchmark suites compiling
 # and their invariant checks (clean-verification assertions) honest
