@@ -36,6 +36,10 @@ func run(args []string) error {
 	r := fs.Int("r", 2, "object count for flood protocols")
 	rounds := fs.Int64("rounds", 2, "round cap for register-consensus")
 	budget := fs.Int("budget", 1<<22, "configuration budget")
+	memBudget := fs.Int64("mem-budget", 0, "retained-byte budget (0 = unlimited); truncates the run, or sets the hot tier under -spill-dir")
+	spillDir := fs.String("spill-dir", "", "enable the disk-tiered engine: spill cold visited-set shards and deep frontiers under this directory and write resumable checkpoints")
+	resume := fs.Bool("resume", false, "resume a killed -spill-dir run from its last durable checkpoint")
+	spillEvery := fs.Int64("spill-every", 0, "admissions between checkpoint manifests (0 = default 32768, negative = no checkpoints)")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "parallel exploration workers (1 = serial)")
 	biv := fs.Bool("bivalence", false, "also run the bivalence analysis on mixed inputs")
 	nosym := fs.Bool("nosym", false, "disable identical-process symmetry reduction")
@@ -43,6 +47,9 @@ func run(args []string) error {
 	jsonOut := fs.Bool("json", false, "emit the verdict as JSON (suppresses -bivalence)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *resume && *spillDir == "" {
+		return fmt.Errorf("-resume requires -spill-dir")
 	}
 
 	proto, err := lookup(*name, *n, *r, *rounds)
@@ -54,28 +61,49 @@ func run(args []string) error {
 		fmt.Printf("model checking %s with n=%d over all schedules and coin outcomes (%d workers)...\n",
 			proto.Name(), *n, *workers)
 	}
-	rep := valency.CheckAllInputs(proto, *n, valency.Options{
-		MaxConfigs: *budget, Workers: *workers, NoSymmetry: *nosym, LegacyKeys: *legacy,
-	})
+	opts := valency.Options{
+		MaxConfigs: *budget, MemBudget: *memBudget, Workers: *workers,
+		NoSymmetry: *nosym, LegacyKeys: *legacy,
+		SpillDir: *spillDir, SpillResume: *resume, SpillCheckpointEvery: *spillEvery,
+	}
+	var rep *valency.Report
+	var spillErr error
+	if *spillDir != "" {
+		rep, spillErr = valency.CheckAllInputsSpill(proto, *n, opts)
+		if rep == nil {
+			return spillErr
+		}
+	} else {
+		rep = valency.CheckAllInputs(proto, *n, opts)
+	}
 	if *jsonOut {
-		j := rep.JSON(map[string]any{
-			"tool":     "modelcheck",
-			"args":     args,
-			"protocol": *name,
-			"n":        *n,
-			"r":        *r,
-			"rounds":   *rounds,
-			"budget":   *budget,
-			"workers":  *workers,
-			"nosym":    *nosym,
-			"legacy":   *legacy,
-		})
+		meta := map[string]any{
+			"tool":       "modelcheck",
+			"args":       args,
+			"protocol":   *name,
+			"n":          *n,
+			"r":          *r,
+			"rounds":     *rounds,
+			"budget":     *budget,
+			"mem_budget": *memBudget,
+			"workers":    *workers,
+			"nosym":      *nosym,
+			"legacy":     *legacy,
+		}
+		if *spillDir != "" {
+			meta["spill_dir"] = *spillDir
+			meta["resume"] = *resume
+		}
+		if spillErr != nil {
+			meta["spill_error"] = spillErr.Error()
+		}
+		j := rep.JSON(meta)
 		out, err := j.Encode()
 		if err != nil {
 			return err
 		}
 		fmt.Println(string(out))
-		return nil
+		return spillErr
 	}
 	switch {
 	case rep.Violation != nil:
@@ -101,6 +129,18 @@ func run(args []string) error {
 			fmt.Printf("visited set: %d stripes, %d fingerprint collisions, per-stripe keys min/max %d/%d\n",
 				s.Stripes, s.Collisions, s.MinStripeKeys, s.MaxStripeKeys)
 		}
+		if sp := s.Spill; sp != nil {
+			resumed := ""
+			if sp.Resumed {
+				resumed = " (resumed)"
+			}
+			fmt.Printf("spill: %d flushes / %d compactions to disk, %d tier lookups (%d hits), frontier %d spilled / %d loaded, %d checkpoints, %d I/O retries%s\n",
+				sp.Flushes, sp.Compactions, sp.Lookups, sp.LookupHits,
+				sp.FrontierSpilled, sp.FrontierLoaded, sp.Checkpoints, sp.Retries, resumed)
+		}
+	}
+	if spillErr != nil {
+		return fmt.Errorf("run degraded to an incomplete verdict: %w", spillErr)
 	}
 
 	if *biv {

@@ -3,11 +3,13 @@ package dist
 import (
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
 
 	"randsync/internal/explore"
+	"randsync/internal/frame"
 	"randsync/internal/sim"
 )
 
@@ -209,39 +211,14 @@ func (co *coord) checkpointNow() {
 		return
 	}
 	payload := co.encodeCheckpoint()
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err == nil {
-		err = writeFrame(f, msgCheckpoint, payload)
-		if err == nil {
-			err = f.Sync()
-		}
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err == nil {
-			err = os.Rename(tmp, path)
-		}
-		if err == nil {
-			syncDir(filepath.Dir(path))
-		}
-	}
+	err := frame.WriteFileAtomic(frame.OS{}, path, func(w io.Writer) error {
+		return writeFrame(w, msgCheckpoint, payload)
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dist: checkpoint: %v\n", err)
 		return
 	}
 	co.rec.CheckpointsWritten++
-}
-
-// syncDir makes a rename durable on filesystems that require a
-// directory fsync; best-effort (some platforms refuse directory syncs).
-func syncDir(dir string) {
-	d, err := os.Open(dir)
-	if err != nil {
-		return
-	}
-	d.Sync()
-	d.Close()
 }
 
 // tryResume loads the checkpoint file if Options name one and it

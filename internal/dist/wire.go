@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"io"
 
-	"randsync/internal/sim"
+	"randsync/internal/frame"
 )
 
 // Wire format: length-prefixed binary frames over TCP.  A frame is
@@ -67,37 +67,18 @@ func decodeHello(p []byte) (helloMsg, error) {
 // maxFrame bounds a frame so a corrupted length prefix cannot allocate
 // unboundedly.  Emit-heavy DONE frames dominate; 1<<26 (64 MiB) is far
 // above any batch the default BatchSize can produce.
-const maxFrame = 1 << 26
+const maxFrame = frame.MaxFrame
 
+// The envelope itself lives in internal/frame, which the exploration
+// engine's spill tier shares; these delegates keep dist call sites
+// unchanged while guaranteeing the wire format and the on-disk spill
+// format stay one codec.
 func writeFrame(w io.Writer, typ byte, payload []byte) error {
-	buf := make([]byte, 0, 4+1+len(payload)+8)
-	buf = binary.BigEndian.AppendUint32(buf, uint32(1+len(payload)+8))
-	buf = append(buf, typ)
-	buf = append(buf, payload...)
-	buf = binary.BigEndian.AppendUint64(buf, sim.FingerprintBytes(buf[4:]))
-	_, err := w.Write(buf)
-	return err
+	return frame.Write(w, typ, payload)
 }
 
 func readFrame(r io.Reader) (byte, []byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, err
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n < 9 || n > maxFrame {
-		return 0, nil, fmt.Errorf("dist: frame length %d out of range", n)
-	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return 0, nil, err
-	}
-	sum := binary.BigEndian.Uint64(body[n-8:])
-	body = body[:n-8]
-	if sim.FingerprintBytes(body) != sum {
-		return 0, nil, fmt.Errorf("dist: frame checksum mismatch")
-	}
-	return body[0], body[1:], nil
+	return frame.Read(r)
 }
 
 // --- payload primitives ---

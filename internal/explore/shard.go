@@ -1,10 +1,13 @@
 package explore
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"randsync/internal/frame"
 )
 
 // This file is the shard-owned exploration engine: the in-process
@@ -97,6 +100,11 @@ type ShardedOptions[T any] struct {
 	Recycle func(worker int, val T)
 	// BatchSize overrides ShardBatchSize; <= 0 selects the default.
 	BatchSize int
+	// Spill, when non-nil, enables the disk tier (spill.go): visited-set
+	// shards evict to sorted run files beyond Spill.HotBytes, deep
+	// frontiers spill to segment files, and — with CheckpointEvery — the
+	// run writes durable manifests a later run can resume from.
+	Spill *SpillConfig[T]
 }
 
 // ShardedStats are the counters of one sharded run.
@@ -130,6 +138,8 @@ type ShardedStats struct {
 	Elapsed time.Duration
 	// Census is the end-of-run shard census (Stripes == Workers).
 	Census SetStats
+	// Spill is the disk-tier telemetry; all zero when tiering is off.
+	Spill SpillStats
 }
 
 // ShardedResult is a run's stats plus the merged edge log for cycle
@@ -137,6 +147,10 @@ type ShardedStats struct {
 type ShardedResult struct {
 	Stats ShardedStats
 	Edges []Edge
+	// Err is set when the run aborted on an unrecoverable disk fault or
+	// refused to resume from an unusable manifest; the verdict is then
+	// Incomplete — a disk fault can stop a run but never falsify one.
+	Err error
 }
 
 // ShardCtx is the per-worker handle passed to the expand callback.
@@ -243,6 +257,14 @@ func (b *shardBatch[T]) key(i int) []byte {
 	return b.keys[h.off : h.off+h.ln]
 }
 
+// collEnt is one collision-overflow entry: the dense id plus the
+// fingerprint it collides on (an entry spilling to disk must carry its
+// fingerprint, which the map key no longer encodes).
+type collEnt struct {
+	fp uint64
+	id int64
+}
+
 // shardWorker is one worker's state.  The seen/coll/bytes/edges/priv/out
 // fields are owner-private (touched only by the owning goroutine); the
 // mutex guards only the inbox and the public frontier; created/consumed
@@ -258,7 +280,7 @@ type shardWorker[T any] struct {
 	consumed atomic.Int64 // units this worker consumed (written only by it)
 
 	seen  map[uint64]setEntry
-	coll  map[string]int64 // distinct keys sharing a claimed fingerprint (≈ never)
+	coll  map[string]collEnt // distinct keys sharing a claimed fingerprint (≈ never)
 	bytes int64            // interned key bytes this shard retains
 	edges []Edge
 	priv  []shardTask[T]
@@ -303,6 +325,8 @@ type sharded[T any] struct {
 	stopped    atomic.Bool
 	finished   atomic.Bool // quiescence detected; all workers exit
 	incomplete atomic.Bool
+
+	sp *spillRT[T] // disk tier runtime; nil when Spill is off
 }
 
 // admit resolves (fp, key) against worker w's shard: it returns the
@@ -314,6 +338,21 @@ func (e *sharded[T]) admit(w int, fp uint64, key []byte, parent int64) (id int64
 	ent, claimed := sw.seen[fp]
 	switch {
 	case !claimed:
+		// A RAM miss is only provisional when a disk tier holds evicted
+		// shards: the key may live in a run file.  A tier that cannot
+		// answer (unrecoverable I/O fault) aborts admission entirely —
+		// treating "unknown" as "fresh" would re-admit a visited key
+		// under a second dense id and corrupt the census.
+		if e.sp != nil {
+			did, found, err := e.tierLookup(w, fp, key)
+			if err != nil {
+				return 0, false
+			}
+			if found {
+				id = did
+				break
+			}
+		}
 		id = e.next.Add(1) - 1
 		k := string(key) // intern: the only retained copy
 		sw.seen[fp] = setEntry{key: k, id: id}
@@ -326,17 +365,27 @@ func (e *sharded[T]) admit(w int, fp uint64, key []byte, parent int64) (id int64
 		id = ent.id
 	default:
 		// A true fingerprint collision between distinct keys: full-key
-		// membership in the shard's overflow map.
-		if cid, ok := sw.coll[string(key)]; ok {
-			id = cid
+		// membership in the shard's overflow map, then the disk tier.
+		if ce, ok := sw.coll[string(key)]; ok {
+			id = ce.id
 			break
+		}
+		if e.sp != nil {
+			did, found, err := e.tierLookup(w, fp, key)
+			if err != nil {
+				return 0, false
+			}
+			if found {
+				id = did
+				break
+			}
 		}
 		id = e.next.Add(1) - 1
 		if sw.coll == nil {
-			sw.coll = make(map[string]int64)
+			sw.coll = make(map[string]collEnt)
 		}
 		k := string(key)
-		sw.coll[k] = id
+		sw.coll[k] = collEnt{fp: fp, id: id}
 		sw.bytes += int64(len(k))
 		fresh = true
 		if e.opts.OnBytes != nil {
@@ -355,6 +404,10 @@ func (e *sharded[T]) admit(w int, fp uint64, key []byte, parent int64) (id int64
 		e.incomplete.Store(true)
 		e.stopped.Store(true)
 	}
+	if e.sp != nil {
+		e.noteAdmission()
+		e.maybeEvict(w)
+	}
 	return id, true
 }
 
@@ -372,6 +425,9 @@ func (e *sharded[T]) pushLocal(w int, t shardTask[T]) {
 		rest := copy(sw.priv, sw.priv[half:])
 		clearTasks(sw.priv[rest:])
 		sw.priv = sw.priv[:rest]
+	}
+	if e.sp != nil {
+		e.maybeSpillFrontier(w)
 	}
 }
 
@@ -548,10 +604,17 @@ func (e *sharded[T]) quiescent() bool {
 func (e *sharded[T]) worker(id int) {
 	ctx := &ShardCtx[T]{e: e, id: id}
 	sw := &e.ws[id]
+	if e.sp != nil {
+		defer e.workerExit()
+	}
 	idle := 0
 	for {
 		if e.stopped.Load() || e.finished.Load() {
 			return
+		}
+		if e.sp != nil && e.sp.ckptWant.Load() {
+			e.ckptRound(id)
+			continue
 		}
 		if sw.inboxN.Load() > 0 {
 			e.drainInbox(id)
@@ -560,6 +623,9 @@ func (e *sharded[T]) worker(id int) {
 		if !ok {
 			e.flushPartial(id)
 			t, ok = e.steal(id)
+		}
+		if !ok && e.sp != nil && e.reloadFrontier(id) {
+			t, ok = e.pop(id)
 		}
 		if !ok {
 			if e.quiescent() {
@@ -608,7 +674,45 @@ func RunSharded[T any](workers int, opts ShardedOptions[T], roots []ShardSeed[T]
 		e.ws[i].seen = make(map[uint64]setEntry)
 		e.ws[i].out = make([]*shardBatch[T], workers)
 	}
+	if opts.Spill != nil {
+		sp := &spillRT[T]{cfg: *opts.Spill}
+		sp.fs = sp.cfg.FS
+		if sp.fs == nil {
+			sp.fs = frame.OS{}
+		}
+		sp.bar.cond = sync.NewCond(&sp.bar.mu)
+		sp.bar.active = workers
+		sp.hotShard = 1 << 62
+		if sp.cfg.HotBytes > 0 {
+			sp.hotShard = sp.cfg.HotBytes / int64(workers)
+			if sp.hotShard < 1 {
+				sp.hotShard = 1
+			}
+		}
+		sp.tier = newSpillTier(sp.fs, sp.cfg.Dir, workers, sp.cfg.CheckpointEvery > 0)
+		sp.qs = make([]*spillQueue, workers)
+		for i := range sp.qs {
+			sp.qs[i] = newSpillQueue(sp.fs, sp.cfg.Dir, i, &sp.tier.retries)
+		}
+		e.sp = sp
+		if err := retryIO(&sp.tier.retries, func() error { return sp.fs.MkdirAll(sp.cfg.Dir) }); err != nil {
+			return ShardedResult{
+				Err:   fmt.Errorf("explore: create spill dir: %w", err),
+				Stats: ShardedStats{Workers: workers, Stopped: true, Incomplete: true, Elapsed: time.Since(start)},
+			}
+		}
+		if sp.cfg.Resume {
+			if _, err := e.tryResume(); err != nil {
+				sp.tier.close()
+				return ShardedResult{
+					Err:   err,
+					Stats: ShardedStats{Workers: workers, Stopped: true, Incomplete: true, Elapsed: time.Since(start)},
+				}
+			}
+		}
+	}
 	// Seed single-threaded: admission needs no locks before workers start.
+	// On a resumed run the roots dedup against the disk tier.
 	var seeded int64
 	for _, r := range roots {
 		owner := int(r.FP % uint64(workers))
@@ -658,6 +762,9 @@ func RunSharded[T any](workers int, opts ShardedOptions[T], roots []ShardSeed[T]
 		st.RecycledBatches += sw.recycledB
 		st.Steals += sw.steals
 		n := int64(len(sw.seen) + len(sw.coll))
+		if e.sp != nil {
+			n += e.sp.tier.shardKeys(i)
+		}
 		st.Census.Keys += n
 		st.Census.Collisions += int64(len(sw.coll))
 		st.Census.Interned += sw.bytes
@@ -667,6 +774,9 @@ func RunSharded[T any](workers int, opts ShardedOptions[T], roots []ShardSeed[T]
 		if n > st.Census.MaxStripeKeys {
 			st.Census.MaxStripeKeys = n
 		}
+	}
+	if e.sp != nil {
+		e.spillFinish(&res)
 	}
 	return res
 }

@@ -1,0 +1,859 @@
+package explore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"randsync/internal/frame"
+)
+
+// This file is the disk tier under the shard-owned exploration engine:
+// the storage layer that lets an exhaustive run degrade gracefully from
+// RAM to disk instead of truncating when the visited set or the frontier
+// outgrow the memory budget.
+//
+// Three structures live here, all speaking the internal/frame envelope
+// (the same checksummed [len][type][payload][fingerprint] format as the
+// distributed wire protocol and its checkpoints):
+//
+//   - spillTier: the cold half of the visited set.  When a shard's
+//     interned key bytes exceed its hot budget, the owner flushes its
+//     whole RAM map to a sorted run file — entries ordered by
+//     (fingerprint, key), grouped into checksummed block frames, with an
+//     in-memory block index and a per-run bloom filter.  A membership
+//     probe that misses RAM walks the shard's runs newest-first: bloom
+//     test, binary search of the block index, one random-access block
+//     read.  When a shard accumulates too many runs they are merge-
+//     compacted into one.
+//   - spillQueue: the cold half of the frontier.  A worker whose pending
+//     queue runs deep spills the oldest half to a segment file (items
+//     encoded by the caller — the valency engine uses the compact
+//     schedule encoding, so a configuration costs a few bytes); the
+//     segment is reloaded by its owner when RAM work runs out.
+//   - the manifest: one atomically-replaced file naming every run and
+//     segment that belongs to the last consistent checkpoint, plus the
+//     engine counters and edge log as of that cut.  Resume trusts only
+//     the manifest: files it does not name are deleted, so a crash
+//     mid-flush, mid-compaction or mid-spill can never smuggle
+//     post-checkpoint state into a resumed run.
+//
+// Fault model: every disk operation goes through frame.FS (so the
+// seeded injector fault.DiskChaos can interpose) and is wrapped in
+// bounded retry+backoff.  A fault that outlasts the retries is
+// unrecoverable; the engine then stops with the honest "incomplete"
+// verdict.  A read that succeeds but returns corrupted bytes is caught
+// by the frame checksums and handled the same way.  No disk fault can
+// produce a wrong verdict: the tier either serves the truth or fails
+// loudly.
+
+// Spill frame types (distinct from the dist wire/checkpoint types so a
+// stray file is never misread).
+const (
+	frameRunHeader byte = 0x52 // 'R': run file header
+	frameRunBlock  byte = 0x42 // 'B': sorted entry block
+	frameSegHeader byte = 0x46 // 'F': frontier segment header
+	frameSegItem   byte = 0x49 // 'I': one frontier item
+	frameManifest  byte = 0x4D // 'M': checkpoint manifest
+)
+
+// spillVersion versions every spill artifact (runs, segments, manifest).
+const spillVersion = 1
+
+// runBlockEntries is the number of entries per run block frame: large
+// enough to amortize the frame envelope, small enough that one lookup
+// reads a few KiB.
+const runBlockEntries = 256
+
+// maxRunsPerShard triggers merge-compaction: a lookup miss costs one
+// bloom test per run, so unbounded run counts would decay probes.
+const maxRunsPerShard = 4
+
+// ioAttempts and ioBackoff bound the retry loop around every disk
+// operation; a fault that survives all attempts is unrecoverable.
+const (
+	ioAttempts = 4
+	ioBackoff  = 2 * time.Millisecond
+)
+
+// manifestName is the checkpoint manifest file within a spill directory.
+const manifestName = "MANIFEST"
+
+// ManifestName exposes the checkpoint manifest filename so callers can
+// detect a resumable spill directory (e.g. to refuse a non-resume run in
+// a directory that still holds a previous run's cut).
+const ManifestName = manifestName
+
+// retryIO runs op with bounded retry+backoff, counting retries into the
+// shared counter; the returned error is the last attempt's.
+func retryIO(retries *atomic.Int64, op func() error) error {
+	var err error
+	for attempt := 0; attempt < ioAttempts; attempt++ {
+		if attempt > 0 {
+			retries.Add(1)
+			time.Sleep(ioBackoff * time.Duration(attempt))
+		}
+		if err = op(); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// SpillStats is the disk-tier telemetry of one sharded run; all zero
+// when tiering is off.
+type SpillStats struct {
+	// Keys and Bytes count visited-set entries (and their key bytes)
+	// resident in run files at the end of the run.
+	Keys  int64 `json:"keys"`
+	Bytes int64 `json:"bytes"`
+	// Runs is the number of live run files at the end of the run.
+	Runs int `json:"runs,omitempty"`
+	// Flushes counts shard RAM→disk evictions; Compactions counts run
+	// merges.
+	Flushes     int64 `json:"flushes,omitempty"`
+	Compactions int64 `json:"compactions,omitempty"`
+	// Lookups counts membership probes that consulted the disk tier
+	// (bloom filters short most of them); LookupHits found the key on
+	// disk.
+	Lookups    int64 `json:"lookups,omitempty"`
+	LookupHits int64 `json:"lookup_hits,omitempty"`
+	// FrontierSpilled/FrontierLoaded count pending items written to and
+	// reloaded from segment files.
+	FrontierSpilled int64 `json:"frontier_spilled,omitempty"`
+	FrontierLoaded  int64 `json:"frontier_loaded,omitempty"`
+	// Checkpoints counts durable manifests written; Resumed reports
+	// whether this run restarted from one.
+	Checkpoints int64 `json:"checkpoints,omitempty"`
+	Resumed     bool  `json:"resumed,omitempty"`
+	// Retries counts disk operations that needed another attempt;
+	// SoftFails counts non-fatal gives-ups (a frontier spill that failed
+	// and fell back to RAM).
+	Retries   int64 `json:"retries,omitempty"`
+	SoftFails int64 `json:"soft_fails,omitempty"`
+}
+
+// spillEntry is one visited-set entry on its way to or from disk.
+type spillEntry struct {
+	fp  uint64
+	id  int64
+	key string
+}
+
+// tierBlock is one block's index entry: its frame offset and the
+// fingerprint range of the sorted entries inside.
+type tierBlock struct {
+	off         int64
+	first, last uint64
+}
+
+// tierRun is one sorted run file: the on-disk entries plus the RAM-side
+// lookup structures (block index and bloom filter, ~3 bytes per entry).
+type tierRun struct {
+	name   string
+	count  int64
+	bytes  int64 // key bytes resident in the run
+	bloom  []uint64
+	blocks []tierBlock
+	f      frame.File
+}
+
+// tierShard is one worker's run set; owner-access only (the engine
+// serializes checkpoint/resume access).
+type tierShard struct {
+	gen  int64
+	runs []*tierRun // oldest first; lookups walk newest first
+}
+
+// spillTier is the disk-resident half of a sharded visited set.
+type spillTier struct {
+	fs     frame.FS
+	dir    string
+	shards []tierShard
+
+	// deferDelete keeps superseded files on disk until the next durable
+	// manifest no longer references them (crash-safe compaction); off
+	// when the run is not checkpointing.
+	deferDelete bool
+	obMu        sync.Mutex
+	obsolete    []string
+
+	retries     atomic.Int64
+	flushes     atomic.Int64
+	compactions atomic.Int64
+	lookups     atomic.Int64
+	hits        atomic.Int64
+	collFlushed atomic.Int64
+	softFails   atomic.Int64
+}
+
+func newSpillTier(fs frame.FS, dir string, shards int, deferDelete bool) *spillTier {
+	return &spillTier{fs: fs, dir: dir, shards: make([]tierShard, shards), deferDelete: deferDelete}
+}
+
+// --- bloom filter ---
+// ~16 bits and 4 probes per key: false-positive rate well under 1%, so
+// almost every lookup for an absent key is answered without disk I/O.
+
+func bloomSize(count int64) int {
+	bits := count * 16
+	words := 4
+	for int64(words)*64 < bits {
+		words *= 2
+	}
+	return words
+}
+
+func bloomProbe(fp uint64, i int) uint64 {
+	// Two derived hashes, Kirsch–Mitzenmacher double hashing.
+	h2 := fp*0x9e3779b97f4a7c15 ^ fp>>32
+	return fp + uint64(i)*h2
+}
+
+func bloomAdd(bits []uint64, fp uint64) {
+	mask := uint64(len(bits)*64 - 1)
+	for i := 0; i < 4; i++ {
+		b := bloomProbe(fp, i) & mask
+		bits[b/64] |= 1 << (b % 64)
+	}
+}
+
+func bloomHas(bits []uint64, fp uint64) bool {
+	mask := uint64(len(bits)*64 - 1)
+	for i := 0; i < 4; i++ {
+		b := bloomProbe(fp, i) & mask
+		if bits[b/64]&(1<<(b%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// --- run files ---
+
+// runName names shard s's generation-g run file.
+func runName(shard int, gen int64) string {
+	return fmt.Sprintf("s%03d-g%06d.run", shard, gen)
+}
+
+// encodeRunHeader builds the run header payload.
+func encodeRunHeader(shard int, gen, count int64) []byte {
+	b := binary.AppendUvarint(nil, spillVersion)
+	b = binary.AppendUvarint(b, uint64(shard))
+	b = binary.AppendUvarint(b, uint64(gen))
+	return binary.AppendUvarint(b, uint64(count))
+}
+
+// flush writes entries (a shard's evicted RAM map) as a new sorted run
+// and registers it for lookups.  Entries must all belong to shard; the
+// slice is sorted in place.  On success the shard may be compacted.
+func (t *spillTier) flush(shard int, entries []spillEntry, collisions int64) error {
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].fp != entries[j].fp {
+			return entries[i].fp < entries[j].fp
+		}
+		return entries[i].key < entries[j].key
+	})
+	sh := &t.shards[shard]
+	run, err := t.writeRun(shard, sh.gen+1, entries)
+	if err != nil {
+		return err
+	}
+	sh.gen++
+	sh.runs = append(sh.runs, run)
+	t.flushes.Add(1)
+	t.collFlushed.Add(collisions)
+	if len(sh.runs) > maxRunsPerShard {
+		return t.compact(shard)
+	}
+	return nil
+}
+
+// writeRun durably writes one sorted run file and opens it for lookups,
+// building the block index and bloom filter along the way.  The whole
+// write retries as a unit: WriteFileAtomic never exposes a partial file
+// under the final name, so a retry simply rewrites the temp sibling.
+func (t *spillTier) writeRun(shard int, gen int64, entries []spillEntry) (*tierRun, error) {
+	run := &tierRun{name: runName(shard, gen), count: int64(len(entries))}
+	path := filepath.Join(t.dir, run.name)
+	err := retryIO(&t.retries, func() error {
+		run.bloom = make([]uint64, bloomSize(int64(len(entries))))
+		run.blocks = run.blocks[:0]
+		run.bytes = 0
+		// Offsets are deterministic given the entries, so the index can
+		// be built while writing: header frame first, then block frames.
+		off := int64(0)
+		hdr := encodeRunHeader(shard, gen, int64(len(entries)))
+		return frame.WriteFileAtomic(t.fs, path, func(w io.Writer) error {
+			if err := frame.Write(w, frameRunHeader, hdr); err != nil {
+				return err
+			}
+			off += int64(4 + 1 + len(hdr) + 8)
+			var payload []byte
+			for start := 0; start < len(entries); start += runBlockEntries {
+				end := start + runBlockEntries
+				if end > len(entries) {
+					end = len(entries)
+				}
+				blk := entries[start:end]
+				payload = payload[:0]
+				payload = binary.AppendUvarint(payload, uint64(len(blk)))
+				for _, e := range blk {
+					payload = binary.BigEndian.AppendUint64(payload, e.fp)
+					payload = binary.AppendUvarint(payload, uint64(e.id))
+					payload = binary.AppendUvarint(payload, uint64(len(e.key)))
+					payload = append(payload, e.key...)
+					bloomAdd(run.bloom, e.fp)
+					run.bytes += int64(len(e.key))
+				}
+				if err := frame.Write(w, frameRunBlock, payload); err != nil {
+					return err
+				}
+				run.blocks = append(run.blocks, tierBlock{
+					off: off, first: blk[0].fp, last: blk[len(blk)-1].fp,
+				})
+				off += int64(4 + 1 + len(payload) + 8)
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		return nil, fmt.Errorf("explore: spill run %s: %w", run.name, err)
+	}
+	err = retryIO(&t.retries, func() error {
+		f, oerr := t.fs.Open(path)
+		if oerr != nil {
+			return oerr
+		}
+		run.f = f
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("explore: open spill run %s: %w", run.name, err)
+	}
+	return run, nil
+}
+
+// openRun loads an existing run file (resume path): it re-reads every
+// block sequentially — verifying every frame checksum — and rebuilds the
+// block index and bloom filter.
+func (t *spillTier) openRun(shard int, name string, wantCount int64) (*tierRun, error) {
+	path := filepath.Join(t.dir, name)
+	run := &tierRun{name: name, count: wantCount}
+	err := retryIO(&t.retries, func() error {
+		if run.f != nil {
+			run.f.Close()
+			run.f = nil
+		}
+		f, err := t.fs.Open(path)
+		if err != nil {
+			return err
+		}
+		run.blocks = run.blocks[:0]
+		run.bloom = make([]uint64, bloomSize(wantCount))
+		run.bytes = 0
+		typ, hdr, next, err := frame.ReadAt(f, 0)
+		if err != nil || typ != frameRunHeader {
+			f.Close()
+			return fmt.Errorf("bad run header (type %d): %v", typ, err)
+		}
+		r := &spillReader{b: hdr}
+		if v := r.uvarint("version"); v != spillVersion {
+			f.Close()
+			return fmt.Errorf("run version %d, want %d", v, spillVersion)
+		}
+		r.uvarint("shard")
+		r.uvarint("gen")
+		count := int64(r.uvarint("count"))
+		if r.fail != nil || count != wantCount {
+			f.Close()
+			return fmt.Errorf("run header count %d, manifest says %d", count, wantCount)
+		}
+		var seen int64
+		off := next
+		for seen < count {
+			typ, payload, nx, err := frame.ReadAt(f, off)
+			if err != nil || typ != frameRunBlock {
+				f.Close()
+				return fmt.Errorf("bad run block at %d: %v", off, err)
+			}
+			entries, err := decodeRunBlock(payload)
+			if err != nil {
+				f.Close()
+				return err
+			}
+			for _, e := range entries {
+				bloomAdd(run.bloom, e.fp)
+				run.bytes += int64(len(e.key))
+			}
+			run.blocks = append(run.blocks, tierBlock{
+				off: off, first: entries[0].fp, last: entries[len(entries)-1].fp,
+			})
+			seen += int64(len(entries))
+			off = nx
+		}
+		if seen != count {
+			f.Close()
+			return fmt.Errorf("run holds %d entries, header says %d", seen, count)
+		}
+		run.f = f
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("explore: resume spill run %s: %w", name, err)
+	}
+	return run, nil
+}
+
+// decodeRunBlock parses one block frame's payload (already checksum-
+// verified by the frame layer) into entries.
+func decodeRunBlock(payload []byte) ([]spillEntry, error) {
+	r := &spillReader{b: payload}
+	n := r.uvarint("block count")
+	if r.fail != nil || n == 0 || n > runBlockEntries {
+		return nil, fmt.Errorf("explore: spill block count %d out of range", n)
+	}
+	entries := make([]spillEntry, 0, n)
+	for i := uint64(0); i < n && r.fail == nil; i++ {
+		var e spillEntry
+		e.fp = r.fixed64("entry fp")
+		e.id = int64(r.uvarint("entry id"))
+		e.key = string(r.bytes("entry key"))
+		entries = append(entries, e)
+	}
+	if err := r.err(); err != nil {
+		return nil, err
+	}
+	return entries, nil
+}
+
+// lookup probes shard's runs, newest first, for (fp, key).  A hit
+// returns the entry's dense id.  An I/O or corruption error that
+// survives the retries is returned — the caller must treat it as
+// unrecoverable, never as "absent".
+func (t *spillTier) lookup(shard int, fp uint64, key []byte) (int64, bool, error) {
+	sh := &t.shards[shard]
+	if len(sh.runs) == 0 {
+		return 0, false, nil
+	}
+	t.lookups.Add(1)
+	for i := len(sh.runs) - 1; i >= 0; i-- {
+		run := sh.runs[i]
+		if !bloomHas(run.bloom, fp) {
+			continue
+		}
+		j := sort.Search(len(run.blocks), func(j int) bool { return run.blocks[j].last >= fp })
+		for ; j < len(run.blocks) && run.blocks[j].first <= fp; j++ {
+			var entries []spillEntry
+			err := retryIO(&t.retries, func() error {
+				typ, payload, _, err := frame.ReadAt(run.f, run.blocks[j].off)
+				if err != nil {
+					return err
+				}
+				if typ != frameRunBlock {
+					return fmt.Errorf("frame type %d where block expected", typ)
+				}
+				entries, err = decodeRunBlock(payload)
+				return err
+			})
+			if err != nil {
+				return 0, false, fmt.Errorf("explore: spill lookup in %s: %w", run.name, err)
+			}
+			k := sort.Search(len(entries), func(k int) bool {
+				if entries[k].fp != fp {
+					return entries[k].fp > fp
+				}
+				return entries[k].key >= string(key)
+			})
+			if k < len(entries) && entries[k].fp == fp && entries[k].key == string(key) {
+				t.hits.Add(1)
+				return entries[k].id, true, nil
+			}
+		}
+	}
+	return 0, false, nil
+}
+
+// compact merges all of shard's runs into one.  Run key sets are
+// disjoint (a key spills at most once: later probes find it on disk and
+// are never re-admitted), so the merge is a concatenation re-sort.  The
+// superseded files are deleted only after the next durable manifest no
+// longer references them.
+func (t *spillTier) compact(shard int) error {
+	sh := &t.shards[shard]
+	if len(sh.runs) < 2 {
+		return nil
+	}
+	var total int64
+	for _, run := range sh.runs {
+		total += run.count
+	}
+	entries := make([]spillEntry, 0, total)
+	for _, run := range sh.runs {
+		for _, blk := range run.blocks {
+			var blkEntries []spillEntry
+			err := retryIO(&t.retries, func() error {
+				typ, payload, _, err := frame.ReadAt(run.f, blk.off)
+				if err != nil {
+					return err
+				}
+				if typ != frameRunBlock {
+					return fmt.Errorf("frame type %d where block expected", typ)
+				}
+				blkEntries, err = decodeRunBlock(payload)
+				return err
+			})
+			if err != nil {
+				return fmt.Errorf("explore: compact %s: %w", run.name, err)
+			}
+			entries = append(entries, blkEntries...)
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].fp != entries[j].fp {
+			return entries[i].fp < entries[j].fp
+		}
+		return entries[i].key < entries[j].key
+	})
+	merged, err := t.writeRun(shard, sh.gen+1, entries)
+	if err != nil {
+		return err
+	}
+	sh.gen++
+	old := sh.runs
+	sh.runs = []*tierRun{merged}
+	t.compactions.Add(1)
+	for _, run := range old {
+		run.f.Close()
+		t.retire(run.name)
+	}
+	return nil
+}
+
+// retire schedules a superseded file for deletion: immediately when the
+// run is not checkpointing, after the next durable manifest otherwise
+// (a manifest must never reference a deleted file).
+func (t *spillTier) retire(name string) {
+	if !t.deferDelete {
+		t.fs.Remove(filepath.Join(t.dir, name))
+		return
+	}
+	t.obMu.Lock()
+	t.obsolete = append(t.obsolete, name)
+	t.obMu.Unlock()
+}
+
+// prune deletes every file retired before the manifest that just became
+// durable.  Best-effort: a missed delete wastes disk, never correctness.
+func (t *spillTier) prune() {
+	t.obMu.Lock()
+	dead := t.obsolete
+	t.obsolete = nil
+	t.obMu.Unlock()
+	for _, name := range dead {
+		t.fs.Remove(filepath.Join(t.dir, name))
+	}
+}
+
+// stats sums the tier's end-of-run numbers.
+func (t *spillTier) stats() (keys, bytes int64, runs int) {
+	for i := range t.shards {
+		for _, run := range t.shards[i].runs {
+			keys += run.count
+			bytes += run.bytes
+			runs++
+		}
+	}
+	return
+}
+
+// shardKeys returns the on-disk entry count of one shard (census).
+func (t *spillTier) shardKeys(shard int) int64 {
+	var n int64
+	for _, run := range t.shards[shard].runs {
+		n += run.count
+	}
+	return n
+}
+
+// close releases every open run handle (end of run).
+func (t *spillTier) close() {
+	for i := range t.shards {
+		for _, run := range t.shards[i].runs {
+			if run.f != nil {
+				run.f.Close()
+			}
+		}
+	}
+}
+
+// --- frontier segments ---
+
+// spillSegment is one on-disk slice of a worker's frontier.
+type spillSegment struct {
+	name  string
+	count int64
+	// consumed: the items are back in RAM (or were never evicted — a
+	// checkpoint snapshot); the file stays until the next manifest.
+	consumed bool
+	// snap marks the current checkpoint's frontier snapshot: consumed
+	// from birth (its items never left RAM) but referenced by the
+	// manifest being written.
+	snap bool
+}
+
+// spillQueue is one worker's frontier overflow; owner-access only (the
+// engine serializes checkpoint/resume access).
+type spillQueue struct {
+	fs     frame.FS
+	dir    string
+	worker int
+	seq    int64
+	segs   []*spillSegment
+
+	retries *atomic.Int64
+	spilled atomic.Int64
+	loaded  atomic.Int64
+}
+
+func newSpillQueue(fs frame.FS, dir string, worker int, retries *atomic.Int64) *spillQueue {
+	return &spillQueue{fs: fs, dir: dir, worker: worker, retries: retries}
+}
+
+func segName(worker int, seq int64) string {
+	return fmt.Sprintf("f%03d-%06d.seg", worker, seq)
+}
+
+// spill durably writes items (each already encoded: id uvarint followed
+// by the caller's payload) as one segment.  On error nothing is
+// registered and the caller keeps the items in RAM.
+func (q *spillQueue) spill(items [][]byte, snapshot bool) error {
+	seg := &spillSegment{
+		name:     segName(q.worker, q.seq+1),
+		count:    int64(len(items)),
+		consumed: snapshot,
+		snap:     snapshot,
+	}
+	hdr := binary.AppendUvarint(nil, spillVersion)
+	hdr = binary.AppendUvarint(hdr, uint64(q.worker))
+	hdr = binary.AppendUvarint(hdr, uint64(len(items)))
+	err := retryIO(q.retries, func() error {
+		return frame.WriteFileAtomic(q.fs, filepath.Join(q.dir, seg.name), func(w io.Writer) error {
+			if err := frame.Write(w, frameSegHeader, hdr); err != nil {
+				return err
+			}
+			for _, it := range items {
+				if err := frame.Write(w, frameSegItem, it); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		return fmt.Errorf("explore: spill segment %s: %w", seg.name, err)
+	}
+	q.seq++
+	q.segs = append(q.segs, seg)
+	if !snapshot {
+		q.spilled.Add(seg.count)
+	}
+	return nil
+}
+
+// loadOldest reads the oldest unconsumed segment back, verifying every
+// frame and the item count.  Returns (nil, nil) when nothing is spilled.
+// The file is deleted immediately when not checkpointing, and marked for
+// the next manifest cycle otherwise.
+func (q *spillQueue) loadOldest(deferDelete bool) ([][]byte, error) {
+	var seg *spillSegment
+	for _, s := range q.segs {
+		if !s.consumed {
+			seg = s
+			break
+		}
+	}
+	if seg == nil {
+		return nil, nil
+	}
+	path := filepath.Join(q.dir, seg.name)
+	var items [][]byte
+	err := retryIO(q.retries, func() error {
+		f, err := q.fs.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		typ, hdr, err := frame.Read(f)
+		if err != nil || typ != frameSegHeader {
+			return fmt.Errorf("bad segment header: %v", err)
+		}
+		r := &spillReader{b: hdr}
+		if v := r.uvarint("version"); v != spillVersion {
+			return fmt.Errorf("segment version %d, want %d", v, spillVersion)
+		}
+		r.uvarint("worker")
+		count := int64(r.uvarint("count"))
+		if r.fail != nil || count != seg.count {
+			return fmt.Errorf("segment header count %d, want %d", count, seg.count)
+		}
+		items = items[:0]
+		for int64(len(items)) < count {
+			typ, payload, err := frame.Read(f)
+			if err != nil {
+				return fmt.Errorf("segment item %d: %v", len(items), err)
+			}
+			if typ != frameSegItem {
+				return fmt.Errorf("frame type %d where item expected", typ)
+			}
+			items = append(items, payload)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("explore: reload segment %s: %w", seg.name, err)
+	}
+	seg.consumed = true
+	q.loaded.Add(seg.count)
+	if !deferDelete {
+		q.fs.Remove(path)
+		q.drop(seg)
+	}
+	return items, nil
+}
+
+// pending reports the number of items resident in unconsumed segments.
+func (q *spillQueue) pending() int64 {
+	var n int64
+	for _, s := range q.segs {
+		if !s.consumed {
+			n += s.count
+		}
+	}
+	return n
+}
+
+// drop forgets a segment record.
+func (q *spillQueue) drop(seg *spillSegment) {
+	for i, s := range q.segs {
+		if s == seg {
+			q.segs = append(q.segs[:i], q.segs[i+1:]...)
+			return
+		}
+	}
+}
+
+// manifestSegs returns the segments the next manifest must reference:
+// everything whose items are not safely re-derivable — unconsumed
+// segments plus the current checkpoint snapshot.
+func (q *spillQueue) manifestSegs() []*spillSegment {
+	var out []*spillSegment
+	for _, s := range q.segs {
+		if !s.consumed || s.snap {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// pruneAfterManifest deletes segments the just-written manifest no
+// longer references (consumed, and not this cut's snapshot).
+func (q *spillQueue) pruneAfterManifest() {
+	kept := q.segs[:0]
+	for _, s := range q.segs {
+		if s.consumed && !s.snap {
+			q.fs.Remove(filepath.Join(q.dir, s.name))
+			continue
+		}
+		kept = append(kept, s)
+	}
+	q.segs = kept
+}
+
+// clearSnapshots demotes the previous checkpoint's snapshot segments:
+// the new cut supersedes them, so after the next manifest they are
+// pruned like any other consumed segment.
+func (q *spillQueue) clearSnapshots() {
+	for _, s := range q.segs {
+		s.snap = false
+	}
+}
+
+// removeAll best-effort deletes every segment (clean-finish cleanup).
+func (q *spillQueue) removeAll() {
+	for _, s := range q.segs {
+		q.fs.Remove(filepath.Join(q.dir, s.name))
+	}
+	q.segs = nil
+}
+
+// --- payload reader ---
+
+// spillReader decodes spill payloads with sticky-error semantics — the
+// same discipline as the dist wire reader, restated here so explore does
+// not import dist.
+type spillReader struct {
+	b    []byte
+	fail error
+}
+
+func (r *spillReader) seterr(what string) {
+	if r.fail == nil {
+		r.fail = fmt.Errorf("explore: truncated %s in spill frame", what)
+	}
+}
+
+func (r *spillReader) uvarint(what string) uint64 {
+	if r.fail != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		r.seterr(what)
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *spillReader) fixed64(what string) uint64 {
+	if r.fail != nil {
+		return 0
+	}
+	if len(r.b) < 8 {
+		r.seterr(what)
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v
+}
+
+func (r *spillReader) bytes(what string) []byte {
+	n := r.uvarint(what)
+	if r.fail != nil {
+		return nil
+	}
+	if uint64(len(r.b)) < n {
+		r.seterr(what)
+		return nil
+	}
+	s := r.b[:n:n]
+	r.b = r.b[n:]
+	return s
+}
+
+func (r *spillReader) err() error {
+	if r.fail != nil {
+		return r.fail
+	}
+	if len(r.b) != 0 {
+		return fmt.Errorf("explore: %d trailing bytes in spill frame", len(r.b))
+	}
+	return nil
+}

@@ -1,0 +1,253 @@
+package fault
+
+import (
+	"fmt"
+	"io/fs"
+	"sync/atomic"
+
+	"randsync/internal/frame"
+)
+
+// DiskChaos wraps a frame.FS and injects seeded disk faults underneath
+// it: short (torn) writes, write errors (ENOSPC-style), fsync failures,
+// open/read errors, and read-side bit corruption.  It is the disk-world
+// sibling of the goroutine-world Injector above: the spill tier's soak
+// tests wrap its filesystem in a DiskChaos and assert the hard contract
+// — bounded retries absorb transient faults, and an unrecoverable fault
+// degrades the run to the honest "incomplete" verdict, never a wrong
+// verdict and never a crash.
+//
+// Every operation draws its fate from a hash of (seed, operation
+// ordinal), so a plan is replayable: the same seed and rates fire the
+// same faults at the same operation counts.  (Under concurrency the
+// ordinal assignment follows the goroutine interleaving, so a soak is
+// seed-deterministic per schedule, which is all the soaks need.)
+type DiskChaos struct {
+	inner frame.FS
+	plan  DiskPlan
+	ops   atomic.Int64 // operation ordinal source
+	fired atomic.Int64 // faults injected so far
+	// killAt, when >0, makes every operation with ordinal >= killAt fail
+	// permanently — the disk-side analogue of kill -9 mid-write, used by
+	// the kill/resume drills.
+	killAt atomic.Int64
+}
+
+// DiskPlan is a seeded disk-fault schedule: per-mille probabilities per
+// operation class.  The zero plan injects nothing.
+type DiskPlan struct {
+	Seed uint64
+	// WriteErr fails a Write outright (ENOSPC-style), per mille.
+	WriteErr int
+	// ShortWrite tears a Write: only a prefix reaches the file, and the
+	// write reports an error (a torn write that *doesn't* report is what
+	// the frame checksums exist to catch — ReadCorrupt covers that side).
+	ShortWrite int
+	// SyncErr fails an fsync, per mille.
+	SyncErr int
+	// OpenErr fails a Create/Open, per mille.
+	OpenErr int
+	// ReadErr fails a Read/ReadAt, per mille.
+	ReadErr int
+	// ReadCorrupt flips one bit of a Read/ReadAt result, per mille —
+	// silent media corruption, detectable only by the frame checksums.
+	ReadCorrupt int
+}
+
+// errInjected marks every injected failure so tests can distinguish
+// chaos from real disk trouble.
+type errInjected struct{ op string }
+
+func (e errInjected) Error() string { return "fault: injected disk " + e.op + " failure" }
+
+// IsInjected reports whether err (or anything it wraps) was produced by
+// a DiskChaos.
+func IsInjected(err error) bool {
+	var ei errInjected
+	return errorAs(err, &ei)
+}
+
+// errorAs is errors.As specialized to errInjected; having it here keeps
+// the hot path free of reflection for the common nil case.
+func errorAs(err error, target *errInjected) bool {
+	for err != nil {
+		if e, ok := err.(errInjected); ok {
+			*target = e
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// NewDiskChaos wraps inner with the given fault plan.
+func NewDiskChaos(inner frame.FS, plan DiskPlan) *DiskChaos {
+	return &DiskChaos{inner: inner, plan: plan}
+}
+
+// Faults returns the number of faults injected so far.
+func (d *DiskChaos) Faults() int64 { return d.fired.Load() }
+
+// Ops returns the number of filesystem operations observed so far.
+func (d *DiskChaos) Ops() int64 { return d.ops.Load() }
+
+// KillFromNow makes every subsequent operation fail permanently,
+// simulating the process losing its disk (or being killed) mid-run.
+// Checkpoint/resume drills call it at a chosen operation count and then
+// resume from the surviving on-disk state.
+func (d *DiskChaos) KillFromNow() { d.killAt.Store(d.ops.Load() + 1) }
+
+// KillAtOp schedules the kill before the run starts: every operation
+// with ordinal >= n fails permanently.  The kill/resume drills sweep n
+// across a probe run's operation count so the cut lands in every phase —
+// mid-flush, mid-compaction, mid-manifest.
+func (d *DiskChaos) KillAtOp(n int64) { d.killAt.Store(n) }
+
+// roll draws operation fate i for rate (per mille) deterministically
+// from the plan seed; splitmix64 over (seed, ordinal) so neighbouring
+// ordinals decorrelate.
+func (d *DiskChaos) roll(ord int64, rate, salt int) bool {
+	if rate <= 0 {
+		return false
+	}
+	x := d.plan.Seed ^ uint64(ord)*0x9e3779b97f4a7c15 ^ uint64(salt)*0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x%1000 < uint64(rate)
+}
+
+func (d *DiskChaos) step(rate, salt int, op string) error {
+	ord := d.ops.Add(1)
+	if k := d.killAt.Load(); k > 0 && ord >= k {
+		return errInjected{op: "post-kill " + op}
+	}
+	if d.roll(ord, rate, salt) {
+		d.fired.Add(1)
+		return errInjected{op: op}
+	}
+	return nil
+}
+
+func (d *DiskChaos) Create(name string) (frame.File, error) {
+	if err := d.step(d.plan.OpenErr, 1, "create"); err != nil {
+		return nil, err
+	}
+	f, err := d.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &chaosFile{d: d, f: f}, nil
+}
+
+func (d *DiskChaos) Open(name string) (frame.File, error) {
+	if err := d.step(d.plan.OpenErr, 2, "open"); err != nil {
+		return nil, err
+	}
+	f, err := d.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &chaosFile{d: d, f: f}, nil
+}
+
+func (d *DiskChaos) Rename(o, n string) error {
+	if err := d.step(d.plan.WriteErr, 3, "rename"); err != nil {
+		return err
+	}
+	return d.inner.Rename(o, n)
+}
+
+func (d *DiskChaos) Remove(name string) error {
+	// Removes are never failed by the plan: they only reclaim space, and
+	// the layers above already tolerate missed deletes (obsolete files
+	// are re-pruned at the next manifest write).  The kill switch still
+	// applies.
+	if k := d.killAt.Load(); k > 0 && d.ops.Add(1) >= k {
+		return errInjected{op: "post-kill remove"}
+	}
+	return d.inner.Remove(name)
+}
+
+func (d *DiskChaos) ReadDir(name string) ([]fs.DirEntry, error) {
+	if err := d.step(d.plan.ReadErr, 4, "readdir"); err != nil {
+		return nil, err
+	}
+	return d.inner.ReadDir(name)
+}
+
+func (d *DiskChaos) MkdirAll(path string) error {
+	if err := d.step(d.plan.WriteErr, 5, "mkdir"); err != nil {
+		return err
+	}
+	return d.inner.MkdirAll(path)
+}
+
+// chaosFile interposes on every file operation.
+type chaosFile struct {
+	d *DiskChaos
+	f frame.File
+}
+
+func (c *chaosFile) Write(p []byte) (int, error) {
+	if err := c.d.step(c.d.plan.WriteErr, 6, "write"); err != nil {
+		return 0, err
+	}
+	ord := c.d.ops.Load()
+	if c.d.roll(ord, c.d.plan.ShortWrite, 7) && len(p) > 0 {
+		c.d.fired.Add(1)
+		n, _ := c.f.Write(p[:len(p)/2])
+		return n, fmt.Errorf("fault: injected short write (%d of %d bytes): %w", n, len(p), errInjected{op: "short-write"})
+	}
+	return c.f.Write(p)
+}
+
+func (c *chaosFile) Read(p []byte) (int, error) {
+	if err := c.d.step(c.d.plan.ReadErr, 8, "read"); err != nil {
+		return 0, err
+	}
+	n, err := c.f.Read(p)
+	c.maybeCorrupt(p[:n], 9)
+	return n, err
+}
+
+func (c *chaosFile) ReadAt(p []byte, off int64) (int, error) {
+	if err := c.d.step(c.d.plan.ReadErr, 10, "readat"); err != nil {
+		return 0, err
+	}
+	n, err := c.f.ReadAt(p, off)
+	c.maybeCorrupt(p[:n], 11)
+	return n, err
+}
+
+// maybeCorrupt flips one bit of a successful read — silent media rot the
+// frame checksums must catch.
+func (c *chaosFile) maybeCorrupt(p []byte, salt int) {
+	if len(p) == 0 {
+		return
+	}
+	ord := c.d.ops.Load()
+	if c.d.roll(ord, c.d.plan.ReadCorrupt, salt) {
+		c.d.fired.Add(1)
+		i := int(c.d.plan.Seed^uint64(ord)*0x9e3779b97f4a7c15) % len(p)
+		if i < 0 {
+			i = -i
+		}
+		p[i] ^= 1 << (uint(ord) % 8)
+	}
+}
+
+func (c *chaosFile) Sync() error {
+	if err := c.d.step(c.d.plan.SyncErr, 12, "fsync"); err != nil {
+		return err
+	}
+	return c.f.Sync()
+}
+
+func (c *chaosFile) Close() error { return c.f.Close() }

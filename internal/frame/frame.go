@@ -1,0 +1,161 @@
+// Package frame is the durable on-disk (and on-wire) envelope shared by
+// every subsystem that persists or ships binary state: the distributed
+// cluster's wire protocol and checkpoints (internal/dist) and the
+// exploration engine's spill tier (internal/explore).
+//
+// A frame is
+//
+//	[4B big-endian length][1B type][payload][8B big-endian FNV-1a of type+payload]
+//
+// where length counts everything after itself.  The trailing fingerprint
+// is the same FNV-1a 64 hash the visited set fingerprints keys with
+// (sim.FingerprintBytes), so a torn, bit-flipped, or truncated frame is
+// rejected before its payload can poison an exploration — on the wire
+// and on disk alike.
+//
+// The package also owns the atomic-durable file discipline every
+// checkpoint and spill file follows: write to a temp sibling, fsync,
+// rename into place, fsync the directory.  A crash at any instant leaves
+// either the previous file or the new one, never a torn hybrid.  All I/O
+// goes through the FS seam (fs.go) so the disk-fault injector
+// (internal/fault.DiskChaos) can interpose on every operation.
+package frame
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"path/filepath"
+)
+
+// FNV-1a 64 constants (hash/fnv's), inlined to keep the package
+// dependency-free; the values match sim.FingerprintBytes byte for byte,
+// which is what keeps the dist wire format unchanged.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Fingerprint hashes b with FNV-1a 64 — identical to
+// sim.FingerprintBytes, re-stated here so frame has no dependencies.
+func Fingerprint(b []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// MaxFrame bounds a frame so a corrupted length prefix cannot allocate
+// unboundedly.  64 MiB is far above any payload the cluster or the spill
+// tier produces.
+const MaxFrame = 1 << 26
+
+// Append appends one encoded frame to buf and returns the extended
+// slice.
+func Append(buf []byte, typ byte, payload []byte) []byte {
+	start := len(buf)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(1+len(payload)+8))
+	buf = append(buf, typ)
+	buf = append(buf, payload...)
+	return binary.BigEndian.AppendUint64(buf, Fingerprint(buf[start+4:]))
+}
+
+// Write encodes one frame to w.
+func Write(w io.Writer, typ byte, payload []byte) error {
+	buf := make([]byte, 0, 4+1+len(payload)+8)
+	buf = Append(buf, typ, payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// Read decodes one frame from r, verifying the embedded fingerprint.
+// io.EOF at a frame boundary is returned verbatim so callers can iterate
+// a file of concatenated frames to its end.
+func Read(r io.Reader) (byte, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < 9 || n > MaxFrame {
+		return 0, nil, fmt.Errorf("frame: length %d out of range", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	sum := binary.BigEndian.Uint64(body[n-8:])
+	body = body[:n-8]
+	if Fingerprint(body) != sum {
+		return 0, nil, fmt.Errorf("frame: checksum mismatch")
+	}
+	return body[0], body[1:], nil
+}
+
+// ReadAt decodes the frame starting at offset off of f, verifying the
+// embedded fingerprint, and returns its type, payload, and the offset of
+// the byte after the frame.  This is the random-access read the spill
+// tier's block lookups use: one frame is decoded without touching the
+// rest of the file.
+func ReadAt(f io.ReaderAt, off int64) (typ byte, payload []byte, next int64, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(io.NewSectionReader(f, off, 4), hdr[:]); err != nil {
+		return 0, nil, 0, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < 9 || n > MaxFrame {
+		return 0, nil, 0, fmt.Errorf("frame: length %d out of range at offset %d", n, off)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(io.NewSectionReader(f, off+4, int64(n)), body); err != nil {
+		return 0, nil, 0, err
+	}
+	sum := binary.BigEndian.Uint64(body[n-8:])
+	body = body[:n-8]
+	if Fingerprint(body) != sum {
+		return 0, nil, 0, fmt.Errorf("frame: checksum mismatch at offset %d", off)
+	}
+	return body[0], body[1:], off + 4 + int64(n), nil
+}
+
+// WriteFileAtomic durably replaces path with the given frame sequence:
+// the frames are written to a temp sibling, fsync'd, renamed into place,
+// and the directory is fsync'd.  A crash at any instant leaves either
+// the previous file or the new one — never a torn hybrid.  write is
+// handed the open temp file and emits the frames (typically via Write).
+func WriteFileAtomic(fsys FS, path string, write func(w io.Writer) error) error {
+	tmp := path + ".tmp"
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return err
+	}
+	err = write(f)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = fsys.Rename(tmp, path)
+	}
+	if err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	SyncDir(fsys, filepath.Dir(path))
+	return nil
+}
+
+// SyncDir makes a rename durable on filesystems that require a directory
+// fsync; best-effort (some platforms refuse directory syncs).
+func SyncDir(fsys FS, dir string) {
+	d, err := fsys.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

@@ -1,0 +1,128 @@
+package frame
+
+import (
+	"bytes"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The inlined FNV-1a must match hash/fnv (and therefore
+// sim.FingerprintBytes) exactly — the dist wire format depends on it.
+func TestFingerprintMatchesStdlib(t *testing.T) {
+	for _, s := range []string{"", "a", "frame", "\x00\xff\x80", "the quick brown fox"} {
+		h := fnv.New64a()
+		h.Write([]byte(s))
+		if got, want := Fingerprint([]byte(s)), h.Sum64(); got != want {
+			t.Fatalf("Fingerprint(%q) = %#x, want %#x", s, got, want)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{nil, {0x01}, bytes.Repeat([]byte{0xab}, 1000)}
+	for i, p := range payloads {
+		if err := Write(&buf, byte(i+1), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bytes.NewReader(buf.Bytes())
+	for i, p := range payloads {
+		typ, got, err := Read(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if typ != byte(i+1) || !bytes.Equal(got, p) {
+			t.Fatalf("frame %d: got type %d payload %d bytes", i, typ, len(got))
+		}
+	}
+	if _, _, err := Read(r); err != io.EOF {
+		t.Fatalf("want io.EOF at end, got %v", err)
+	}
+}
+
+func TestCorruptionRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, 7, []byte("payload bytes here")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for i := range raw {
+		bad := append([]byte(nil), raw...)
+		bad[i] ^= 0x40
+		if _, _, err := Read(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("bit flip at byte %d accepted", i)
+		}
+	}
+	for cut := 1; cut < len(raw); cut++ {
+		if _, _, err := Read(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestReadAt(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "runs.bin")
+	var fsys OS
+	err := WriteFileAtomic(fsys, path, func(w io.Writer) error {
+		for i := 0; i < 5; i++ {
+			if err := Write(w, byte(i+1), bytes.Repeat([]byte{byte(i)}, i*7)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fsys.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var off int64
+	for i := 0; i < 5; i++ {
+		typ, p, next, err := ReadAt(f, off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if typ != byte(i+1) || len(p) != i*7 {
+			t.Fatalf("frame %d: type %d len %d", i, typ, len(p))
+		}
+		off = next
+	}
+	if _, _, _, err := ReadAt(f, off); err == nil {
+		t.Fatal("read past end accepted")
+	}
+	// No temp sibling left behind.
+	if _, err := os.Stat(path + ".tmp"); err == nil {
+		t.Fatal("temp file left behind")
+	}
+}
+
+func TestWriteFileAtomicReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state")
+	var fsys OS
+	for _, content := range []string{"first", "second longer content"} {
+		err := WriteFileAtomic(fsys, path, func(w io.Writer) error {
+			return Write(w, 1, []byte(content))
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := fsys.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, p, err := Read(f)
+		f.Close()
+		if err != nil || string(p) != content {
+			t.Fatalf("got %q err %v, want %q", p, err, content)
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"unsafe"
 
 	"randsync/internal/object"
 )
@@ -211,6 +212,24 @@ func (c *Config) CloneInto(dst *Config) *Config {
 	dst.Steps = append(dst.Steps[:0], c.Steps...)
 	dst.types = c.types
 	return dst
+}
+
+// MemBytes estimates the heap bytes this configuration retains: the
+// struct itself plus its slice storage (by capacity, since recycled
+// configurations keep their backing arrays).  States are counted as
+// interface headers only — state values are immutable and shared across
+// configurations, so charging them to each holder would overcount.
+// Exploration engines use this to include frontier configurations in
+// their memory-budget accounting alongside visited-set key bytes.
+func (c *Config) MemBytes() int64 {
+	n := int64(unsafe.Sizeof(*c))
+	n += int64(cap(c.Inputs)) * int64(unsafe.Sizeof(int64(0)))
+	n += int64(cap(c.States)) * 2 * int64(unsafe.Sizeof(uintptr(0))) // interface headers
+	n += int64(cap(c.Objects)) * int64(unsafe.Sizeof(int64(0)))
+	n += int64(cap(c.Decided))
+	n += int64(cap(c.Decision)) * int64(unsafe.Sizeof(int64(0)))
+	n += int64(cap(c.Steps)) * int64(unsafe.Sizeof(int(0)))
+	return n
 }
 
 // Pending returns the action process pid will perform when next scheduled.

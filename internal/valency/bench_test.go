@@ -82,6 +82,61 @@ func BenchmarkExploreParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkExploreSpill prices the disk tier on the E11 workload: the
+// same job explored entirely in RAM (the sharded engine, unbudgeted)
+// versus through the tiered engine with a hot tier far smaller than the
+// space, so most of the visited set and the deep frontier live on disk.
+// One op is one whole exhaustive run; the benchmark pipeline's fifth
+// stage (scripts/bench.sh → BENCH_pr7.json) compares tier=ram against
+// tier=spill from the same run — configuration-count equality plus the
+// slowdown ratio is the recorded price of never truncating.
+func BenchmarkExploreSpill(b *testing.B) {
+	p := protocol.NewCounterWalk(3)
+	inputs := []int64{0, 1, 1}
+	const hotTier = 64 << 10 // forces flushes: the space retains far more key bytes
+	for _, tier := range []string{"ram", "spill"} {
+		b.Run("tier="+tier, func(b *testing.B) {
+			b.ReportAllocs()
+			var configs int
+			var flushes, compactions, lookups, frontier float64
+			for i := 0; i < b.N; i++ {
+				opts := Options{Workers: 2, MaxConfigs: 1 << 24}
+				var rep *Report
+				if tier == "spill" {
+					opts.MemBudget = hotTier
+					opts.SpillDir = b.TempDir()
+					var err error
+					rep, err = CheckSpill(p, inputs, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+				} else {
+					rep = Check(p, inputs, opts)
+				}
+				if rep.Violation != nil || !rep.Complete {
+					b.Fatalf("E11 workload must verify cleanly: %+v", rep)
+				}
+				configs = rep.Configs
+				if sp := rep.Stats.Spill; sp != nil {
+					flushes = float64(sp.Flushes)
+					compactions = float64(sp.Compactions)
+					lookups = float64(sp.Lookups)
+					frontier = float64(sp.FrontierSpilled)
+					if sp.Flushes == 0 {
+						b.Fatalf("hot tier of %d bytes never flushed; the spill run measured nothing", hotTier)
+					}
+				}
+			}
+			b.ReportMetric(float64(configs), "configs")
+			b.ReportMetric(float64(configs)*float64(b.N)/b.Elapsed().Seconds(), "configs/s")
+			b.ReportMetric(flushes, "flushes")
+			b.ReportMetric(compactions, "compactions")
+			b.ReportMetric(lookups, "tier-lookups")
+			b.ReportMetric(frontier, "frontier-spilled")
+		})
+	}
+}
+
 // BenchmarkExploreAllInputs measures the vector-level fan-out (the
 // CheckAllInputs path of the E11 certificate: all 2^3 input vectors).
 func BenchmarkExploreAllInputs(b *testing.B) {

@@ -64,6 +64,11 @@ type Stats struct {
 	Recoveries  int64 `json:"recoveries,omitempty"`
 	Checkpoints int64 `json:"checkpoints,omitempty"`
 
+	// Spill is the disk-tier telemetry of a CheckSpill run (key and byte
+	// counts on disk, run/segment traffic, checkpoint and resume
+	// counters), nil outside spill mode.
+	Spill *explore.SpillStats `json:"spill,omitempty"`
+
 	// Recovery is the distributed engine's self-healing audit trail,
 	// nil on local runs; `distcheck -json` hoists it into the verdict
 	// document so a soak run is auditable from one artifact.

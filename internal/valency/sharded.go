@@ -74,16 +74,24 @@ func checkSharded(proto sim.Protocol, inputs []int64, opts Options) *Report {
 	}
 	var violated atomic.Bool
 
+	// The memory watchdog accounts both retained costs: interned
+	// visited-set key bytes (OnBytes) and the frontier's pending
+	// configuration clones, added at materialization and released when
+	// the engine retires the payload through Recycle.
+	var memBytes atomic.Int64
+	budgeted := opts.MemBudget > 0
 	sopts := explore.ShardedOptions[*sim.Config]{
 		MaxItems: budget,
 		Recycle: func(worker int, c *sim.Config) {
+			if budgeted {
+				memBytes.Add(-c.MemBytes())
+			}
 			if w := &ws[worker]; len(w.free) < sworkFreeCap {
 				w.free = append(w.free, c)
 			}
 		},
 	}
-	if opts.MemBudget > 0 {
-		var memBytes atomic.Int64
+	if budgeted {
 		sopts.OnBytes = func(d int64) { memBytes.Add(d) }
 		sopts.OverBudget = func() bool { return memBytes.Load() >= opts.MemBudget }
 	}
@@ -131,7 +139,13 @@ func checkSharded(proto sim.Protocol, inputs []int64, opts Options) *Report {
 					w.generated++
 					w.buf = opts.AppendVisitKey(&w.keyer, c, w.buf[:0])
 					ctx.Emit(sim.FingerprintBytes(w.buf), w.buf, id,
-						func() *sim.Config { return c.CloneInto(w.take()) })
+						func() *sim.Config {
+							clone := c.CloneInto(w.take())
+							if budgeted {
+								memBytes.Add(clone.MemBytes())
+							}
+							return clone
+						})
 					c.UndoStep(&u)
 				}
 			}

@@ -32,7 +32,9 @@ import (
 	"strings"
 	"sync"
 	"time"
+	"unsafe"
 
+	"randsync/internal/frame"
 	"randsync/internal/sim"
 )
 
@@ -80,13 +82,37 @@ type Options struct {
 	// MaxConfigs caps the number of distinct configurations explored;
 	// beyond it the report is marked incomplete.  0 means 1<<20.
 	MaxConfigs int
-	// MemBudget caps the visited-set key bytes an exploration may retain
-	// (the dominant memory cost of an exhaustive run); beyond it the
+	// MemBudget caps the exploration's retained bytes: the visited-set
+	// keys plus the frontier — the serial engine's DFS path, or the
+	// parallel engines' pending configuration clones.  Beyond it the
 	// report is marked incomplete, exactly like an exhausted MaxConfigs.
 	// 0 means unlimited.  The distributed coordinator enforces the same
 	// cap on its shard mirrors and additionally applies dispatch
 	// backpressure as the budget approaches (see internal/dist).
+	//
+	// Under the disk-tiered engine (CheckSpill / SpillDir) the budget
+	// changes meaning: it sets the hot (RAM) share of the visited set,
+	// and the exploration completes regardless — cold shards and deep
+	// frontiers spill to disk instead of truncating the run.
 	MemBudget int64
+	// SpillDir enables the disk-tiered engine in CheckSpill /
+	// CheckAllInputsSpill: visited-set shards beyond MemBudget evict to
+	// sorted run files under this directory, deep frontiers spill to
+	// segment files, and periodic checkpoint manifests make a killed run
+	// resumable.  Ignored by Check/CheckAllInputs.
+	SpillDir string
+	// SpillResume continues a killed spill run from the last durable
+	// checkpoint in SpillDir instead of starting fresh.
+	SpillResume bool
+	// SpillFS overrides the filesystem under the spill directory (nil
+	// selects the real disk); the disk-fault soaks install
+	// fault.DiskChaos here.
+	SpillFS frame.FS
+	// SpillCheckpointEvery is the number of admissions between checkpoint
+	// manifests: 0 selects the default (32768), negative disables
+	// checkpointing (tiering still applies, but a killed run cannot
+	// resume).
+	SpillCheckpointEvery int64
 	// Workers sets the number of exploration workers.  0 or 1 selects
 	// the serial depth-first engine (the canonical reference); values
 	// above 1 select the parallel engine with that many workers; any
@@ -420,10 +446,19 @@ func (ch *checker) exploreLegacy(c *sim.Config) bool {
 	return stop
 }
 
-// overMemBudget reports whether retained key bytes have exhausted the
-// memory budget (MemBudget 0 = unlimited).
+// eventBytes is the retained cost of one DFS path entry, the serial
+// engine's frontier analogue (the parallel engines count their pending
+// configuration clones instead).
+var eventBytes = int64(unsafe.Sizeof(sim.Event{}))
+
+// overMemBudget reports whether the retained bytes — interned visited
+// keys plus the DFS path — have exhausted the memory budget (MemBudget
+// 0 = unlimited).
 func (ch *checker) overMemBudget() bool {
-	return ch.opts.MemBudget > 0 && ch.keyBytes >= ch.opts.MemBudget
+	if ch.opts.MemBudget <= 0 {
+		return false
+	}
+	return ch.keyBytes+int64(len(ch.path))*eventBytes >= ch.opts.MemBudget
 }
 
 // expand checks c for violations and branches over every scheduler and

@@ -47,8 +47,17 @@
 # single-core penalty.  The core count is recorded in the artifact so a
 # reader knows which criterion applied.
 #
-# Usage: scripts/bench.sh [output.json] [dist-output.json] [recovery-output.json] [scaling-output.json]
-#        (defaults: BENCH_pr3.json BENCH_pr4.json BENCH_pr5.json BENCH_pr6.json)
+# A fifth stage runs BenchmarkExploreSpill (internal/valency) and emits
+# BENCH_pr7.json: the same exhaustive job explored entirely in RAM
+# versus through the disk-tiered engine with a hot tier far smaller
+# than the space, so most of the visited set and the deep frontier live
+# in spill files.  The acceptance check is configuration-count equality
+# — moving the RAM/disk boundary may cost time, never coverage — and
+# the slowdown ratio plus flush/compaction/lookup/frontier-spill counts
+# are recorded as the price of never truncating under a memory budget.
+#
+# Usage: scripts/bench.sh [output.json] [dist-output.json] [recovery-output.json] [scaling-output.json] [spill-output.json]
+#        (defaults: BENCH_pr3.json BENCH_pr4.json BENCH_pr5.json BENCH_pr6.json BENCH_pr7.json)
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -56,10 +65,12 @@ out="${1:-BENCH_pr3.json}"
 distout="${2:-BENCH_pr4.json}"
 recout="${3:-BENCH_pr5.json}"
 scaleout="${4:-BENCH_pr6.json}"
+spillout="${5:-BENCH_pr7.json}"
 raw="$(mktemp)"
 distraw="$(mktemp)"
 recraw="$(mktemp)"
-trap 'rm -f "$raw" "$distraw" "$recraw"' EXIT
+spillraw="$(mktemp)"
+trap 'rm -f "$raw" "$distraw" "$recraw" "$spillraw"' EXIT
 
 cores="$( (nproc || getconf _NPROCESSORS_ONLN || echo 1) 2>/dev/null | head -1 )"
 
@@ -377,3 +388,61 @@ if ! grep -q '"pass": true' "$scaleout"; then
 	exit 1
 fi
 echo "bench.sh: scaling acceptance passed"
+
+# ---- spill stage: all-RAM vs disk-tiered exploration of the same job ----
+echo "== ./internal/valency spill (-benchtime=1x)" >&2
+go test -run=NONE -bench='^BenchmarkExploreSpill' -benchtime=1x -timeout 20m ./internal/valency | tee "$spillraw" >&2
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+function jnum(v) { return (v == int(v)) ? sprintf("%.0f", v) : sprintf("%.6g", v) }
+/^goos: /  { goos = $2 }
+/^goarch: / { goarch = $2 }
+/^cpu: /   { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	iters = $2
+	m = ""
+	for (i = 3; i + 1 <= NF; i += 2) {
+		val = $(i); unit = $(i + 1)
+		if (m != "") m = m ", "
+		m = m sprintf("\"%s\": %s", unit, jnum(val))
+		metric[name, unit] = val
+	}
+	if (benches != "") benches = benches ",\n"
+	benches = benches sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"metrics\": {%s}}", name, iters, m)
+}
+END {
+	printf "{\n"
+	printf "  \"generated\": \"%s\",\n", date
+	printf "  \"host\": {\"goos\": \"%s\", \"goarch\": \"%s\", \"cpu\": \"%s\"},\n", goos, goarch, cpu
+	printf "  \"benchmarks\": [\n%s\n  ],\n", benches
+	root = "BenchmarkExploreSpill/tier="
+	ram = root "ram"; spill = root "spill"
+	have = ((ram, "configs") in metric) && ((spill, "configs") in metric)
+	equal = have && (metric[ram, "configs"] == metric[spill, "configs"])
+	slowdown = (have && metric[spill, "configs/s"] > 0) ? metric[ram, "configs/s"] / metric[spill, "configs/s"] : 0
+	engaged = have && (metric[spill, "flushes"] > 0)
+	printf "  \"acceptance\": {\n"
+	printf "    \"benchmark\": \"BenchmarkExploreSpill\",\n"
+	printf "    \"workload\": \"counter-walk n=3, inputs 0,1,1, all schedules and coins, workers=2, 64 KiB hot tier\",\n"
+	printf "    \"criterion\": \"the disk-tiered run explores the identical configuration count as the all-RAM run and actually spills, same run\",\n"
+	printf "    \"ram_configs\": %s,\n", have ? jnum(metric[ram, "configs"]) : "null"
+	printf "    \"spill_configs\": %s,\n", have ? jnum(metric[spill, "configs"]) : "null"
+	printf "    \"spill_flushes\": %s,\n", have ? jnum(metric[spill, "flushes"]) : "null"
+	printf "    \"spill_compactions\": %s,\n", have ? jnum(metric[spill, "compactions"]) : "null"
+	printf "    \"spill_tier_lookups\": %s,\n", have ? jnum(metric[spill, "tier-lookups"]) : "null"
+	printf "    \"spill_frontier_spilled\": %s,\n", have ? jnum(metric[spill, "frontier-spilled"]) : "null"
+	printf "    \"spill_vs_ram_slowdown\": %.3f,\n", slowdown
+	printf "    \"pass\": %s\n", (equal && engaged) ? "true" : "false"
+	printf "  }\n"
+	printf "}\n"
+}
+' "$spillraw" > "$spillout"
+
+echo "wrote $spillout"
+if ! grep -q '"pass": true' "$spillout"; then
+	echo "bench.sh: FAILED spill acceptance — disk-tiered and all-RAM runs disagree on configuration count, or the tier never engaged" >&2
+	exit 1
+fi
+echo "bench.sh: spill acceptance passed"

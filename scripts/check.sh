@@ -58,6 +58,28 @@ go test -race -count=1 -timeout 10m \
 go test -race -count=1 -timeout 10m \
 	-run 'TestShardedStripedSerialMatrix|TestShardedEnginesAgreeAcrossWorkerCounts' \
 	./internal/valency/
+stage="spill smoke (beyond-RAM engine)"
+# The disk-tiered engine's robustness drills, under the race detector:
+# a run the in-RAM checker truncates under -mem-budget must complete
+# exactly when spilling; a sweep killed at several disk-operation
+# counts must degrade honestly and then resume to the uninterrupted
+# verdict; the seeded disk-fault soak must never turn an injected
+# fault into a wrong verdict; and stale or corrupt spill state must be
+# refused, never silently mixed in.  (-short trims the soak to 8
+# seeds under the ~10x race slowdown; the full 32-seed soak runs in
+# the non-race full-suite stage above.)  The explore-level kill,
+# compaction and corruption drills ride a second focused invocation.
+go test -race -short -count=1 -timeout 15m \
+	-run 'TestCheckSpillBeyondMemBudget|TestCheckSpillFaultSoak|TestCheckAllInputsSpillKillResume|TestSpillRefusesDirtyDir' \
+	./internal/valency/
+go test -race -short -count=1 -timeout 10m \
+	-run 'TestSpillKillResume|TestSpillFaultSoak|TestSpillResumeRefusesCorruption|TestSpillCheckpointCleanFinish' \
+	./internal/explore/
+# End-to-end CLI drill: a budget that truncates the in-RAM run must
+# complete exhaustively ("SAFE") through -spill-dir.
+spilldir="$(mktemp -d)"
+go run ./cmd/modelcheck -protocol counter-walk -n 2 -workers 2 -mem-budget 4096 -spill-dir "$spilldir" | grep -q "SAFE"
+rm -rf "$spilldir"
 stage="bench smoke"
 # One iteration of every benchmark: keeps the benchmark suites compiling
 # and their invariant checks (clean-verification assertions) honest
