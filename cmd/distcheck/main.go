@@ -4,33 +4,47 @@
 // configurations shipped to them as schedules, and the verdict is
 // identical to a serial modelcheck run of the same job.
 //
-// Three modes:
+// Four modes:
 //
 //	distcheck -loopback 4 -protocol counter-walk -n 3        # single binary
 //	distcheck -listen :7001 -expect 2 -protocol cas -n 8 -all -checkpoint cas8.ckpt
 //	distcheck -join host:7001                                 # on each worker box
+//	distcheck -submit http://host:8347 -tenant ci -protocol cas   # via checkd
 //
 // A worker needs no job flags — the coordinator ships the job over the
 // wire.  With -checkpoint, the coordinator snapshots periodically and a
 // rerun of the same command resumes from the snapshot (-resume insists
-// on it).  The cluster self-heals: workers reconnect under seeded
-// backoff and rejoin as themselves, a restarted coordinator picks the
-// job back up from its checkpoint while workers keep retrying, and
-// -chaos-net-seed drives a deterministic network-chaos proxy for soak
-// testing the recovery machinery in loopback mode.
+// on it).  SIGINT/SIGTERM on a coordinator (or loopback run) is a
+// graceful drain: a final checkpoint is written before exit, so the
+// same command resumes instead of restarting.  The cluster self-heals:
+// workers reconnect under seeded backoff and rejoin as themselves, a
+// restarted coordinator picks the job back up from its checkpoint while
+// workers keep retrying, and -chaos-net-seed drives a deterministic
+// network-chaos proxy for soak testing the recovery machinery in
+// loopback mode.
+//
+// -submit hands the job to a running checkd daemon instead of checking
+// locally: the response is the stored verdict document, fetched from
+// the daemon's content-addressed artifact store.  -async returns after
+// submission; -wait-job picks a submitted job back up later; -ping
+// probes daemon health.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"randsync/internal/dist"
+	"randsync/internal/service"
 	"randsync/internal/valency"
 )
 
@@ -70,8 +84,47 @@ func run(args []string) error {
 	retry := fs.Int("retry", 0, "worker: consecutive failed connection attempts before giving up (default 30)")
 	workerID := fs.Uint64("worker-id", 0, "worker: stable identity announced on every reconnect (default random)")
 	jsonOut := fs.Bool("json", false, "emit the verdict as JSON")
+
+	submit := fs.String("submit", "", "client: submit the job to a checkd daemon at this base URL")
+	tenant := fs.String("tenant", "default", "client: tenant name for -submit")
+	engine := fs.String("engine", "local", "client: checkd engine for -submit (local or dist)")
+	async := fs.Bool("async", false, "client: return after submission instead of waiting for the verdict")
+	waitJob := fs.String("wait-job", "", "client: wait for an already-submitted job id and print its verdict document")
+	waitTimeout := fs.Duration("wait-timeout", 10*time.Minute, "client: how long -submit/-wait-job wait for a verdict")
+	ping := fs.String("ping", "", "client: probe a checkd daemon's health at this base URL")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *ping != "" {
+		c := &service.Client{Base: *ping}
+		if err := c.Health(); err != nil {
+			return err
+		}
+		fmt.Println("ok")
+		return nil
+	}
+	if *submit != "" || *waitJob != "" {
+		spec := service.JobSpec{
+			Tenant:     *tenant,
+			Protocol:   *name,
+			N:          *n,
+			R:          *r,
+			Rounds:     *rounds,
+			Seed:       *seed,
+			AllInputs:  *all,
+			Engine:     *engine,
+			Budget:     *budget,
+			NoSymmetry: *nosym,
+		}
+		if !*all {
+			var err error
+			spec.Inputs, err = parseInputs(*inputsFlag, *n)
+			if err != nil {
+				return err
+			}
+		}
+		return runClient(*submit, *waitJob, spec, *async, *waitTimeout)
 	}
 
 	if *join != "" {
@@ -103,6 +156,19 @@ func run(args []string) error {
 			return err
 		}
 	}
+	// SIGINT/SIGTERM on the coordinator is a graceful drain, not a kill:
+	// the run stops at a final checkpoint and the same command resumes.
+	// A second signal falls through to the default handler (hard exit).
+	intr := make(chan struct{})
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		<-sigc
+		signal.Stop(sigc)
+		close(intr)
+	}()
+
 	opts := dist.Options{
 		Shards:         *shards,
 		CheckpointPath: *checkpoint,
@@ -110,6 +176,7 @@ func run(args []string) error {
 		HeartbeatEvery: *heartbeat,
 		DeadAfter:      *deadAfter,
 		MemBudget:      *memBudget,
+		Interrupt:      intr,
 		Valency: valency.Options{
 			MaxConfigs: *budget,
 			Workers:    *workers,
@@ -135,12 +202,59 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "distcheck: waiting for %d workers on %s\n", *expect, ln.Addr())
 		rep, err = dist.Serve(ln, *expect, job, opts)
 	default:
-		return fmt.Errorf("pick a mode: -loopback N, -listen addr, or -join addr")
+		return fmt.Errorf("pick a mode: -loopback N, -listen addr, -join addr, or -submit URL")
+	}
+	if errors.Is(err, dist.ErrInterrupted) {
+		if *checkpoint != "" {
+			fmt.Fprintf(os.Stderr, "distcheck: interrupted; checkpoint written to %s — rerun the same command (or add -resume) to continue\n", *checkpoint)
+		} else {
+			fmt.Fprintln(os.Stderr, "distcheck: interrupted; no -checkpoint set, progress discarded")
+		}
+		return nil
 	}
 	if err != nil {
 		return err
 	}
 	return report(rep, job, *jsonOut, args)
+}
+
+// runClient is the -submit / -wait-job / -async path: hand the job to a
+// checkd daemon and (unless async) print the stored verdict document —
+// the exact bytes the daemon's content-addressed artifact store holds.
+func runClient(base, waitJob string, spec service.JobSpec, async bool, timeout time.Duration) error {
+	c := &service.Client{Base: base}
+	id := waitJob
+	if waitJob == "" {
+		sr, err := c.Submit(spec)
+		if err != nil {
+			return err
+		}
+		id = sr.Job.ID
+		if sr.Duplicate {
+			fmt.Fprintf(os.Stderr, "distcheck: job %s already submitted (state %s)\n", id, sr.Job.State)
+		} else {
+			fmt.Fprintf(os.Stderr, "distcheck: submitted job %s\n", id)
+		}
+		if async {
+			fmt.Println(id)
+			return nil
+		}
+	} else if base == "" {
+		return fmt.Errorf("-wait-job needs -submit URL to name the daemon")
+	}
+	st, err := c.Wait(id, timeout)
+	if err != nil {
+		return err
+	}
+	if st.State == service.StateFailed {
+		return fmt.Errorf("job %s failed: %s", id, st.Error)
+	}
+	doc, err := c.Artifact(st.Artifact)
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(doc))
+	return nil
 }
 
 func parseInputs(s string, n int) ([]int64, error) {

@@ -210,6 +210,10 @@ func (co *coord) waitForWorkers(expect int) error {
 		select {
 		case ev := <-co.events:
 			co.handle(ev)
+		case <-co.opts.Interrupt:
+			// Nothing has started (run resumes, if at all, after this
+			// returns), so there is nothing to checkpoint yet.
+			return ErrInterrupted
 		case <-ticker.C:
 			co.heartbeat()
 		}
@@ -511,6 +515,12 @@ func (co *coord) runVector() (*valency.Report, error) {
 				co.checkpointNow()
 				return co.vectorReport(), nil
 			}
+		case <-co.opts.Interrupt:
+			// Graceful drain: snapshot the authoritative state (in-flight
+			// batches flatten back into the frontier) and hand the caller
+			// the resumable-interrupt sentinel.
+			co.checkpointNow()
+			return nil, ErrInterrupted
 		case <-ticker.C:
 			co.heartbeat()
 		}

@@ -96,6 +96,13 @@ type Options struct {
 	// final checkpoint and return ErrAborted after that many
 	// acknowledged batches — the kill/resume test seam.
 	AbortAfterBatches int64
+	// Interrupt, when non-nil, makes the coordinator write a final
+	// checkpoint and return ErrInterrupted as soon as the channel is
+	// closed — the graceful-shutdown seam behind the CLI's
+	// SIGINT/SIGTERM handling and the service daemon's drain.  With
+	// CheckpointPath unset the run still stops promptly, but there is
+	// nothing durable to resume from.
+	Interrupt <-chan struct{}
 	// NetTimeout bounds every read and write on every cluster
 	// connection (default 30s): a peer that stops moving bytes errors
 	// out instead of wedging a goroutine forever.  The coordinator's
@@ -127,6 +134,11 @@ type Options struct {
 // ErrAborted reports an induced abort (Options.AbortAfterBatches): the
 // job state is checkpointed, not lost.
 var ErrAborted = errors.New("dist: aborted after batch quota; checkpoint written")
+
+// ErrInterrupted reports a graceful interrupt (Options.Interrupt): the
+// job state is checkpointed, not lost — rerun the same command (or
+// restart the daemon) to resume from the snapshot.
+var ErrInterrupted = errors.New("dist: interrupted; checkpoint written")
 
 // ErrAllWorkersLost reports that every worker died before the job
 // finished; with CheckpointPath set the partial state is on disk.

@@ -281,7 +281,7 @@ type shardWorker[T any] struct {
 
 	seen  map[uint64]setEntry
 	coll  map[string]collEnt // distinct keys sharing a claimed fingerprint (≈ never)
-	bytes int64            // interned key bytes this shard retains
+	bytes int64              // interned key bytes this shard retains
 	edges []Edge
 	priv  []shardTask[T]
 	out   []*shardBatch[T] // per-destination partial batches
@@ -612,9 +612,15 @@ func (e *sharded[T]) worker(id int) {
 		if e.stopped.Load() || e.finished.Load() {
 			return
 		}
-		if e.sp != nil && e.sp.ckptWant.Load() {
-			e.ckptRound(id)
-			continue
+		if e.sp != nil {
+			e.pollInterrupt()
+			if e.sp.ckptWant.Load() {
+				e.ckptRound(id)
+				continue
+			}
+			if e.stopped.Load() {
+				return
+			}
 		}
 		if sw.inboxN.Load() > 0 {
 			e.drainInbox(id)

@@ -65,7 +65,18 @@ type SpillConfig[T any] struct {
 	// resume.  Both run while the workers are parked.
 	Aux        func() []byte
 	RestoreAux func(p []byte) error
+	// Interrupt, when non-nil, is polled by the workers between tasks:
+	// the first true drains the run to one final checkpoint round and
+	// stops it with ErrInterrupted — the graceful-shutdown seam.  The
+	// manifest then on disk names a consistent cut a later Resume
+	// continues from.  With CheckpointEvery <= 0 there is no durable
+	// cut to write, so the run just stops, honestly incomplete.
+	Interrupt func() bool
 }
+
+// ErrInterrupted reports a run stopped by SpillConfig.Interrupt: the
+// state is checkpointed, not lost — resume from the manifest.
+var ErrInterrupted = errors.New("explore: interrupted; checkpoint written")
 
 func (c *SpillConfig[T]) hotFrontier() int {
 	if c.HotFrontier <= 0 {
@@ -87,6 +98,7 @@ type spillRT[T any] struct {
 	ckptWant atomic.Bool  // a checkpoint round is requested
 	inCkpt   atomic.Bool  // coordinator is inside doCheckpoint
 	ckpts    atomic.Int64
+	intr     atomic.Bool // cfg.Interrupt fired: final checkpoint, then stop
 	resumed  bool
 
 	bar ckptBarrier
@@ -277,6 +289,27 @@ func (e *sharded[T]) noteAdmission() {
 	}
 }
 
+// pollInterrupt checks the caller's interrupt seam; the first true
+// arranges the stop — a final checkpoint round when checkpointing is
+// on, an immediate stop otherwise.  Called by every worker between
+// tasks, so interrupt latency is one task, not one checkpoint period.
+func (e *sharded[T]) pollInterrupt() {
+	sp := e.sp
+	if sp == nil || sp.cfg.Interrupt == nil || sp.intr.Load() || sp.inCkpt.Load() {
+		return
+	}
+	if !sp.cfg.Interrupt() {
+		return
+	}
+	sp.intr.Store(true)
+	if sp.cfg.CheckpointEvery > 0 {
+		sp.ckptWant.Store(true)
+	} else {
+		e.incomplete.Store(true)
+		e.stopped.Store(true)
+	}
+}
+
 // ckptRound is called at the top of each worker iteration when a
 // checkpoint is requested: the first worker to claim the round
 // coordinates (waits for the others to park, snapshots, resumes them);
@@ -312,6 +345,12 @@ func (e *sharded[T]) ckptRound(id int) {
 		sp.inCkpt.Store(true)
 		e.doCheckpoint()
 		sp.inCkpt.Store(false)
+		if sp.intr.Load() {
+			// The interrupt's final cut is durable (or the previous
+			// manifest still stands); now stop the world for real.
+			e.incomplete.Store(true)
+			e.stopped.Store(true)
+		}
 	}
 	b.mu.Lock()
 	b.claimed = false
@@ -622,6 +661,12 @@ func (e *sharded[T]) spillFinish(res *ShardedResult) {
 	res.Edges = append(sp.resumeEdges, res.Edges...)
 	if sp.failed.Load() && res.Err == nil {
 		res.Err = sp.failErr
+	}
+	if sp.intr.Load() && res.Stats.Stopped && res.Err == nil {
+		// Only an interrupt that actually stopped the run reports as one;
+		// a run that reached quiescence despite the request keeps its
+		// completed verdict.
+		res.Err = ErrInterrupted
 	}
 	sp.tier.close()
 	if !res.Stats.Stopped && !sp.cfg.KeepFiles {

@@ -33,9 +33,9 @@ type FS interface {
 // OS is the passthrough FS backed by package os.
 type OS struct{}
 
-func (OS) Create(name string) (File, error)        { return os.Create(name) }
-func (OS) Open(name string) (File, error)          { return os.Open(name) }
-func (OS) Rename(o, n string) error                { return os.Rename(o, n) }
-func (OS) Remove(name string) error                { return os.Remove(name) }
+func (OS) Create(name string) (File, error)           { return os.Create(name) }
+func (OS) Open(name string) (File, error)             { return os.Open(name) }
+func (OS) Rename(o, n string) error                   { return os.Rename(o, n) }
+func (OS) Remove(name string) error                   { return os.Remove(name) }
 func (OS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
-func (OS) MkdirAll(path string) error              { return os.MkdirAll(path, 0o755) }
+func (OS) MkdirAll(path string) error                 { return os.MkdirAll(path, 0o755) }

@@ -1,0 +1,169 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client talks to a checkd daemon.  The distcheck -submit mode and the
+// tests share it; HTTP defaults to http.DefaultClient, and the tests
+// swap in the Inproc harness.
+type Client struct {
+	// Base is the daemon's base URL, e.g. "http://127.0.0.1:8347".
+	Base string
+	// HTTP is the underlying client (nil = http.DefaultClient).
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string { return strings.TrimRight(c.Base, "/") + path }
+
+// decode reads one JSON response, mapping error payloads to errors.
+func decode(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		var e errorResponse
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return fmt.Errorf("checkd: %s (HTTP %d)", e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("checkd: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	if v == nil {
+		return nil
+	}
+	return json.Unmarshal(body, v)
+}
+
+// Health probes GET /v1/healthz.
+func (c *Client) Health() error {
+	resp, err := c.http().Get(c.url("/v1/healthz"))
+	if err != nil {
+		return err
+	}
+	return decode(resp, nil)
+}
+
+// Submit posts a job spec and returns the (possibly deduplicated)
+// job's status.
+func (c *Client) Submit(spec JobSpec) (*SubmitResponse, error) {
+	body, err := json.Marshal(&spec)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Post(c.url("/v1/jobs"), "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	var sr SubmitResponse
+	if err := decode(resp, &sr); err != nil {
+		return nil, err
+	}
+	return &sr, nil
+}
+
+// Job fetches one job's status.
+func (c *Client) Job(id string) (*JobStatus, error) {
+	resp, err := c.http().Get(c.url("/v1/jobs/" + id))
+	if err != nil {
+		return nil, err
+	}
+	var st JobStatus
+	if err := decode(resp, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Jobs lists every job the daemon knows.
+func (c *Client) Jobs() ([]JobStatus, error) {
+	resp, err := c.http().Get(c.url("/v1/jobs"))
+	if err != nil {
+		return nil, err
+	}
+	var jr JobsResponse
+	if err := decode(resp, &jr); err != nil {
+		return nil, err
+	}
+	return jr.Jobs, nil
+}
+
+// Events follows a job's event stream, invoking fn on every status
+// line until the stream ends; it returns the last status seen.
+func (c *Client) Events(id string, fn func(JobStatus)) (*JobStatus, error) {
+	resp, err := c.http().Get(c.url("/v1/jobs/" + id + "/events"))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return nil, decode(resp, nil)
+	}
+	var last *JobStatus
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var st JobStatus
+		if err := json.Unmarshal(line, &st); err != nil {
+			return last, fmt.Errorf("checkd: bad event line: %w", err)
+		}
+		last = &st
+		if fn != nil {
+			fn(st)
+		}
+	}
+	return last, sc.Err()
+}
+
+// Wait polls a job until it reaches a terminal state.  Polling (rather
+// than holding an event stream) deliberately survives daemon restarts:
+// connection errors are retried until timeout, which is what the
+// kill/restart drills need.
+func (c *Client) Wait(id string, timeout time.Duration) (*JobStatus, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := c.Job(id)
+		if err == nil && (st.State == StateDone || st.State == StateFailed) {
+			return st, nil
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return nil, fmt.Errorf("checkd: wait for job %s: %w", id, err)
+			}
+			return nil, fmt.Errorf("checkd: job %s still %s after %v", id, st.State, timeout)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// Artifact fetches a stored verdict document by content address.
+func (c *Client) Artifact(hash string) ([]byte, error) {
+	resp, err := c.http().Get(c.url("/v1/artifacts/" + hash))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return nil, decode(resp, nil)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+}

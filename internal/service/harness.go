@@ -1,0 +1,73 @@
+package service
+
+import (
+	"io"
+	"net/http"
+	"sync"
+)
+
+// Inproc returns an *http.Client whose transport invokes h directly —
+// a loopback harness in the spirit of the dist package's in-process
+// cluster: the full request/response cycle, including streamed
+// chunked bodies, with no real socket.  The tests and the e2e drills
+// run the entire API surface through it.
+func Inproc(h http.Handler) *http.Client {
+	return &http.Client{Transport: inprocTransport{h: h}}
+}
+
+type inprocTransport struct{ h http.Handler }
+
+func (t inprocTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	pr, pw := io.Pipe()
+	w := &pipeResponse{pw: pw, header: make(http.Header), ready: make(chan struct{})}
+	go func() {
+		defer func() {
+			w.writeHeaderOnce(http.StatusOK)
+			pw.Close()
+		}()
+		t.h.ServeHTTP(w, req)
+	}()
+	<-w.ready
+	return &http.Response{
+		Status:     http.StatusText(w.code),
+		StatusCode: w.code,
+		Proto:      "HTTP/1.1",
+		ProtoMajor: 1,
+		ProtoMinor: 1,
+		Header:     w.header,
+		Body:       pr,
+		Request:    req,
+	}, nil
+}
+
+// pipeResponse adapts an io.Pipe into an http.ResponseWriter.  The
+// response is released to the caller at the first WriteHeader or Write
+// (ready), while the handler keeps streaming into the pipe — which is
+// exactly how the events endpoint behaves over a real connection.
+type pipeResponse struct {
+	pw     *io.PipeWriter
+	header http.Header
+	code   int
+	once   sync.Once
+	ready  chan struct{}
+}
+
+func (w *pipeResponse) Header() http.Header { return w.header }
+
+func (w *pipeResponse) WriteHeader(code int) { w.writeHeaderOnce(code) }
+
+func (w *pipeResponse) writeHeaderOnce(code int) {
+	w.once.Do(func() {
+		w.code = code
+		close(w.ready)
+	})
+}
+
+func (w *pipeResponse) Write(p []byte) (int, error) {
+	w.writeHeaderOnce(http.StatusOK)
+	return w.pw.Write(p)
+}
+
+// Flush satisfies http.Flusher; the pipe has no buffering to flush,
+// but the events handler requires the capability to stream.
+func (w *pipeResponse) Flush() {}

@@ -1,0 +1,161 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// API shapes shared by the server, the Go client (client.go) and curl
+// users.  Errors are always `{"error":"..."}` JSON with a 4xx/5xx code.
+
+// SubmitResponse answers POST /v1/jobs.
+type SubmitResponse struct {
+	// Duplicate reports that the spec hashed onto an existing job and
+	// nothing new was enqueued.
+	Duplicate bool      `json:"duplicate"`
+	Job       JobStatus `json:"job"`
+}
+
+// JobsResponse answers GET /v1/jobs.
+type JobsResponse struct {
+	Jobs []JobStatus `json:"jobs"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// maxJobBody bounds a job submission; specs are a few hundred bytes.
+const maxJobBody = 1 << 20
+
+// Handler is the service's HTTP surface:
+//
+//	GET  /v1/healthz              liveness probe
+//	POST /v1/jobs                 submit a JobSpec, dedup by job hash
+//	GET  /v1/jobs                 list all jobs
+//	GET  /v1/jobs/{id}            one job's status
+//	GET  /v1/jobs/{id}/events     status stream, one JSON line per
+//	                              transition, until the job is terminal
+//	GET  /v1/artifacts/{hash}     a stored verdict document
+//
+// Method mismatches answer 405 via the mux's method patterns.
+func Handler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec JobSpec
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJobBody))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad job spec: %v", err))
+			return
+		}
+		st, dup, err := s.Submit(spec)
+		if err != nil {
+			code := http.StatusBadRequest
+			if errors.Is(err, ErrShuttingDown) {
+				code = http.StatusServiceUnavailable
+			}
+			writeError(w, code, err.Error())
+			return
+		}
+		code := http.StatusCreated
+		if dup {
+			code = http.StatusOK
+		}
+		writeJSON(w, code, SubmitResponse{Duplicate: dup, Job: st})
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, JobsResponse{Jobs: s.Jobs()})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := s.Job(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "no such job")
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		serveEvents(s, w, r)
+	})
+	mux.HandleFunc("GET /v1/artifacts/{hash}", func(w http.ResponseWriter, r *http.Request) {
+		hash := r.PathValue("hash")
+		if !ValidArtifactHash(hash) {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid artifact hash %q", hash))
+			return
+		}
+		doc, err := s.Artifact(hash)
+		if errors.Is(err, ErrNotFound) {
+			writeError(w, http.StatusNotFound, "no such artifact")
+			return
+		}
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(doc)
+	})
+	return mux
+}
+
+// serveEvents streams a job's transitions as JSON lines (one JobStatus
+// per line, flushed immediately) until the job reaches a terminal
+// state, the server closes, or the client goes away.  Chunked framing
+// comes for free from net/http once the handler flushes before
+// returning a Content-Length.
+func serveEvents(s *Server, w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.Job(id); !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	ctx := r.Context()
+	// A dying client cannot interrupt a cond.Wait directly; when its
+	// context ends, wake every waiter so ours re-checks cancelled().
+	stop := context.AfterFunc(ctx, s.Kick)
+	defer stop()
+	cancelled := func() bool { return ctx.Err() != nil }
+
+	enc := json.NewEncoder(w)
+	var since int64 // version 0 precedes every job, so the first wait returns immediately
+	for {
+		st, ver, more := s.WaitChange(id, since, cancelled)
+		if ctx.Err() != nil {
+			return
+		}
+		if ver > since {
+			if err := enc.Encode(&st); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if !more {
+			return
+		}
+		since = ver
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorResponse{Error: msg})
+}

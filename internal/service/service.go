@@ -1,0 +1,554 @@
+// Package service is the checker-as-a-service layer: a persistent,
+// multi-tenant job coordinator that accepts verification jobs over an
+// HTTP/JSON API (http.go), schedules them across the in-process
+// disk-tiered engine and the loopback distributed cluster with
+// per-tenant round-robin fairness, and persists every verdict into a
+// content-addressed artifact store (store.go) built on the frame codec.
+//
+// Every piece of durable state — job records, spill checkpoints, dist
+// checkpoints, artifacts — lives under one data directory and goes
+// through the frame.FS seam, so the whole daemon can be crash-tested
+// with fault.DiskChaos.  A restarted daemon re-reads the job records,
+// re-queues anything that was queued or running, and the engines resume
+// from their own checkpoints; graceful shutdown drains running jobs to
+// a checkpoint first, so restart loses no completed exploration.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"randsync/internal/dist"
+	"randsync/internal/frame"
+	"randsync/internal/valency"
+)
+
+// frameJob is the frame type wrapping one persisted job record.
+const frameJob byte = 0x4A // 'J'
+
+// ErrShuttingDown reports a submission that raced a Close; the HTTP
+// layer maps it to 503.
+var ErrShuttingDown = errors.New("service: server is shutting down")
+
+// Job states.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// JobStatus is the wire form of one job's lifecycle: spec, state, and
+// on completion the verdict summary plus the artifact address of the
+// full document.  It is also the durable job record (one frame at
+// jobs/<id>/job.rec), rewritten atomically on every transition.
+type JobStatus struct {
+	SchemaVersion int     `json:"schemaVersion"`
+	ID            string  `json:"id"`
+	Spec          JobSpec `json:"spec"`
+	// State is queued, running, done or failed.
+	State string `json:"state"`
+	// Verdict, Configs and Artifact are set once State is done; Artifact
+	// is the content address of the verdict document in the store.
+	Verdict  string `json:"verdict,omitempty"`
+	Configs  int    `json:"configs,omitempty"`
+	Artifact string `json:"artifact,omitempty"`
+	// Error is set once State is failed.
+	Error string `json:"error,omitempty"`
+	// Runs counts executions started; Resumes counts interrupted runs
+	// that went back to the queue with a checkpoint on disk.
+	Runs    int `json:"runs,omitempty"`
+	Resumes int `json:"resumes,omitempty"`
+	// Seq is the completion order across the daemon's lifetime (1-based);
+	// 0 until the job reaches a terminal state.
+	Seq int64 `json:"seq,omitempty"`
+}
+
+func (j *JobStatus) terminal() bool { return j.State == StateDone || j.State == StateFailed }
+
+// Config wires a Server, one field per component seam (the style of
+// modular daemons: every dependency explicit, every knob defaulted).
+type Config struct {
+	// DataDir roots all durable state: artifacts/, jobs/<id>/.  Required.
+	DataDir string
+	// FS is the filesystem seam (nil = the real OS).  Tests interpose
+	// fault.DiskChaos here to crash the daemon at a chosen write.
+	FS frame.FS
+	// MaxActive caps concurrently running jobs (default 2).
+	MaxActive int
+	// Workers is the local engine's pool width per job (default 2);
+	// DistWorkers is the loopback cluster's worker count (default 2).
+	Workers     int
+	DistWorkers int
+	// SpillCheckpointEvery / DistCheckpointEvery tighten the engines'
+	// checkpoint cadence (admissions / acknowledged batches) so shutdown
+	// cuts lose little work (defaults 4096 / 16).
+	SpillCheckpointEvery int
+	DistCheckpointEvery  int
+	// Paused starts the scheduler stopped: jobs queue but none run until
+	// Resume.  The fairness tests use this to build a deterministic
+	// backlog before releasing the scheduler.
+	Paused bool
+	// Logf receives operational logs (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fill() {
+	if c.FS == nil {
+		c.FS = frame.OS{}
+	}
+	if c.MaxActive <= 0 {
+		c.MaxActive = 2
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.DistWorkers <= 0 {
+		c.DistWorkers = 2
+	}
+	if c.SpillCheckpointEvery == 0 {
+		c.SpillCheckpointEvery = 4096
+	}
+	if c.DistCheckpointEvery <= 0 {
+		c.DistCheckpointEvery = 16
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// Server is the coordinator: one mutex owns the job table, the
+// per-tenant queues and the scheduler counters; jobs run on their own
+// goroutines and re-enter the lock only to report transitions.
+type Server struct {
+	cfg   Config
+	store *Store
+
+	mu      sync.Mutex
+	events  *sync.Cond // broadcast on every job transition
+	idle    *sync.Cond // broadcast when active drops to zero
+	jobs    map[string]*job
+	queues  map[string][]*job // per-tenant FIFO
+	tenants []string          // first-seen order, the round-robin ring
+	rr      int               // next ring slot to try
+	active  int
+	paused  bool
+	closed  bool
+	seq     int64
+
+	interrupt chan struct{} // closed by Close: every engine drains
+}
+
+type job struct {
+	st  JobStatus
+	ver int64 // bumped on every transition; event streams follow it
+}
+
+// New opens (creating if needed) a server over dataDir, reloads the
+// job table from disk, re-queues unfinished jobs, and — unless Paused —
+// starts the scheduler.
+func New(cfg Config) (*Server, error) {
+	cfg.fill()
+	if cfg.DataDir == "" {
+		return nil, errors.New("service: Config.DataDir is required")
+	}
+	store, err := NewStore(filepath.Join(cfg.DataDir, "artifacts"), cfg.FS)
+	if err != nil {
+		return nil, err
+	}
+	if err := cfg.FS.MkdirAll(filepath.Join(cfg.DataDir, "jobs")); err != nil {
+		return nil, fmt.Errorf("service: create jobs dir: %w", err)
+	}
+	s := &Server{
+		cfg:       cfg,
+		store:     store,
+		jobs:      make(map[string]*job),
+		queues:    make(map[string][]*job),
+		paused:    cfg.Paused,
+		interrupt: make(chan struct{}),
+	}
+	s.events = sync.NewCond(&s.mu)
+	s.idle = sync.NewCond(&s.mu)
+	if err := s.loadJobs(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.dispatchLocked()
+	s.mu.Unlock()
+	return s, nil
+}
+
+// loadJobs re-reads every persisted job record.  Queued and running
+// jobs go back to the queue (a running job's engine checkpoint, if any,
+// makes the re-run a resume); terminal jobs are kept for status and
+// artifact serving.  Corrupt records are logged and skipped, not fatal:
+// one torn record must not brick the daemon.
+func (s *Server) loadJobs() error {
+	dir := filepath.Join(s.cfg.DataDir, "jobs")
+	ents, err := s.cfg.FS.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("service: read jobs dir: %w", err)
+	}
+	var ids []string
+	for _, e := range ents {
+		if e.IsDir() {
+			ids = append(ids, e.Name())
+		}
+	}
+	sort.Strings(ids) // deterministic reload order
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range ids {
+		st, err := s.readJobRecord(id)
+		if err != nil {
+			s.cfg.Logf("service: skipping job %s: %v", id, err)
+			continue
+		}
+		j := &job{st: *st}
+		if j.st.Seq > s.seq {
+			s.seq = j.st.Seq
+		}
+		switch j.st.State {
+		case StateRunning:
+			// The daemon died (or was killed) mid-run; the engine
+			// checkpoint on disk is the resume point.
+			j.st.State = StateQueued
+			j.st.Resumes++
+			if err := s.writeJobLocked(j); err != nil {
+				s.cfg.Logf("service: requeue job %s: %v", id, err)
+			}
+			fallthrough
+		case StateQueued:
+			s.enqueueLocked(j)
+		}
+		s.jobs[j.st.ID] = j
+	}
+	return nil
+}
+
+func (s *Server) jobDir(id string) string {
+	return filepath.Join(s.cfg.DataDir, "jobs", id)
+}
+
+func (s *Server) readJobRecord(id string) (*JobStatus, error) {
+	f, err := s.cfg.FS.Open(filepath.Join(s.jobDir(id), "job.rec"))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	typ, payload, err := frame.Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("corrupt job record: %w", err)
+	}
+	if typ != frameJob {
+		return nil, fmt.Errorf("job record has frame type %#x", typ)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(payload, &st); err != nil {
+		return nil, fmt.Errorf("corrupt job record: %w", err)
+	}
+	if st.ID != id {
+		return nil, fmt.Errorf("job record names %s, directory is %s", st.ID, id)
+	}
+	return &st, nil
+}
+
+// writeJobLocked persists j's record atomically and bumps its event
+// version.  Callers hold s.mu.
+func (s *Server) writeJobLocked(j *job) error {
+	payload, err := json.Marshal(&j.st)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(s.jobDir(j.st.ID), "job.rec")
+	err = frame.WriteFileAtomic(s.cfg.FS, path, func(w io.Writer) error {
+		return frame.Write(w, frameJob, payload)
+	})
+	j.ver++
+	s.events.Broadcast()
+	return err
+}
+
+// Submit validates, dedups and enqueues a job.  A spec whose ID matches
+// an existing non-failed job is a duplicate: the existing status is
+// returned and nothing is enqueued.  Resubmitting a failed job retries
+// it.
+func (s *Server) Submit(spec JobSpec) (JobStatus, bool, error) {
+	if err := spec.Validate(); err != nil {
+		return JobStatus{}, false, err
+	}
+	id := spec.ID()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return JobStatus{}, false, ErrShuttingDown
+	}
+	if j, ok := s.jobs[id]; ok && j.st.State != StateFailed {
+		return j.st, true, nil
+	}
+	if err := s.cfg.FS.MkdirAll(s.jobDir(id)); err != nil {
+		return JobStatus{}, false, fmt.Errorf("service: create job dir: %w", err)
+	}
+	j := s.jobs[id]
+	if j == nil {
+		j = &job{st: JobStatus{SchemaVersion: valency.ReportSchemaVersion, ID: id, Spec: spec}}
+		s.jobs[id] = j
+	}
+	j.st.State = StateQueued
+	j.st.Error = ""
+	if err := s.writeJobLocked(j); err != nil {
+		return JobStatus{}, false, err
+	}
+	s.enqueueLocked(j)
+	s.dispatchLocked()
+	return j.st, false, nil
+}
+
+func (s *Server) enqueueLocked(j *job) {
+	t := j.st.Spec.Tenant
+	if _, ok := s.queues[t]; !ok {
+		s.tenants = append(s.tenants, t)
+	}
+	s.queues[t] = append(s.queues[t], j)
+}
+
+// nextLocked pops the next job round-robin across the tenant ring, so
+// a tenant with a deep backlog cannot starve one with a single job.
+func (s *Server) nextLocked() *job {
+	for range s.tenants {
+		t := s.tenants[s.rr%len(s.tenants)]
+		s.rr++
+		if q := s.queues[t]; len(q) > 0 {
+			j := q[0]
+			s.queues[t] = q[1:]
+			return j
+		}
+	}
+	return nil
+}
+
+// dispatchLocked fills free scheduler slots.  There is no dispatcher
+// goroutine: submit, completion, Resume and startup each call this
+// while holding the lock.
+func (s *Server) dispatchLocked() {
+	if s.paused || s.closed {
+		return
+	}
+	for s.active < s.cfg.MaxActive {
+		j := s.nextLocked()
+		if j == nil {
+			return
+		}
+		j.st.State = StateRunning
+		j.st.Runs++
+		if err := s.writeJobLocked(j); err != nil {
+			s.cfg.Logf("service: persist job %s: %v", j.st.ID, err)
+		}
+		s.active++
+		go s.runJob(j)
+	}
+}
+
+// Resume releases a Paused scheduler.
+func (s *Server) Resume() {
+	s.mu.Lock()
+	s.paused = false
+	s.dispatchLocked()
+	s.mu.Unlock()
+}
+
+// runJob executes one job to a verdict, a checkpointed interrupt, or a
+// failure, then frees its scheduler slot.
+func (s *Server) runJob(j *job) {
+	rep, err := s.execute(&j.st.Spec, j.st.ID)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.active--
+	switch {
+	case err == nil:
+		doc, derr := VerdictDocument(rep, &j.st.Spec)
+		if derr != nil {
+			err = derr
+			break
+		}
+		hash, _, perr := s.store.Put(doc)
+		if perr != nil {
+			err = perr
+			break
+		}
+		var parsed valency.JSONReport
+		_ = json.Unmarshal(doc, &parsed)
+		s.seq++
+		j.st.State = StateDone
+		j.st.Verdict = parsed.Verdict
+		j.st.Configs = rep.Configs
+		j.st.Artifact = hash
+		j.st.Seq = s.seq
+	case errors.Is(err, valency.ErrInterrupted) || errors.Is(err, dist.ErrInterrupted):
+		// Graceful drain: the engine checkpoint is on disk; back to the
+		// queue so the next daemon generation resumes it.
+		j.st.State = StateQueued
+		j.st.Resumes++
+		err = nil
+	}
+	if err != nil {
+		s.seq++
+		j.st.State = StateFailed
+		j.st.Error = err.Error()
+		j.st.Seq = s.seq
+		s.cfg.Logf("service: job %s failed: %v", j.st.ID, err)
+	}
+	if werr := s.writeJobLocked(j); werr != nil {
+		s.cfg.Logf("service: persist job %s: %v", j.st.ID, werr)
+	}
+	if s.active == 0 {
+		s.idle.Broadcast()
+	}
+	s.dispatchLocked()
+}
+
+// execute runs the job on its chosen engine.  Both paths checkpoint
+// into the job's directory and resume from whatever cut they find
+// there, so execute after a crash or drain continues, never restarts.
+func (s *Server) execute(spec *JobSpec, id string) (*valency.Report, error) {
+	proto, err := dist.Resolve(spec.ProtoSpec())
+	if err != nil {
+		return nil, err
+	}
+	if spec.Engine == EngineDist {
+		opts := dist.Options{
+			Shards:          16,
+			CheckpointPath:  filepath.Join(s.jobDir(id), "dist.ckpt"),
+			CheckpointEvery: s.cfg.DistCheckpointEvery,
+			Interrupt:       s.interrupt,
+			Valency: valency.Options{
+				MaxConfigs: spec.Budget,
+				NoSymmetry: spec.NoSymmetry,
+				Crash:      spec.Crash,
+				Workers:    s.cfg.Workers,
+			},
+		}
+		jb := dist.Job{Spec: spec.ProtoSpec(), Inputs: spec.Inputs, AllInputs: spec.AllInputs}
+		if spec.AllInputs {
+			jb.Inputs = nil
+		}
+		return dist.Loopback(s.cfg.DistWorkers, jb, opts)
+	}
+	opts := valency.Options{
+		MaxConfigs:           spec.Budget,
+		MemBudget:            spec.MemBudget,
+		NoSymmetry:           spec.NoSymmetry,
+		Crash:                spec.Crash,
+		Workers:              s.cfg.Workers,
+		SpillDir:             filepath.Join(s.jobDir(id), "spill"),
+		SpillFS:              s.cfg.FS,
+		SpillResume:          true, // no manifest = fresh start, so always safe
+		SpillCheckpointEvery: int64(s.cfg.SpillCheckpointEvery),
+		Interrupt: func() bool {
+			select {
+			case <-s.interrupt:
+				return true
+			default:
+				return false
+			}
+		},
+	}
+	if spec.AllInputs {
+		return valency.CheckAllInputsSpill(proto, spec.N, opts)
+	}
+	return valency.CheckSpill(proto, spec.Inputs, opts)
+}
+
+// Job returns a job's current status.
+func (s *Server) Job(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return j.st, true
+}
+
+// Jobs lists every known job, ordered by ID.
+func (s *Server) Jobs() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j.st)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// Artifact returns a stored verdict document by content address.
+func (s *Server) Artifact(hash string) ([]byte, error) { return s.store.Get(hash) }
+
+// WaitChange blocks until job id's version exceeds since, the job
+// reaches a terminal state, or the server closes; it returns the
+// current status, its version, and whether the stream should continue.
+// A caller streaming events calls this in a loop, passing each returned
+// version back in.  Kick unblocks waiters whose context died.
+func (s *Server) WaitChange(id string, since int64, cancelled func() bool) (JobStatus, int64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		j, ok := s.jobs[id]
+		if !ok {
+			return JobStatus{}, since, false
+		}
+		if j.ver > since {
+			return j.st, j.ver, !j.st.terminal()
+		}
+		if s.closed || j.st.terminal() || (cancelled != nil && cancelled()) {
+			return j.st, j.ver, false
+		}
+		s.events.Wait()
+	}
+}
+
+// Kick wakes every WaitChange waiter so it can re-check its
+// cancellation condition; the HTTP layer calls it when a streaming
+// request's context ends.
+func (s *Server) Kick() {
+	s.mu.Lock()
+	s.events.Broadcast()
+	s.mu.Unlock()
+}
+
+// Queued reports (queued, running) job counts — test introspection.
+func (s *Server) Queued() (queued, running int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, q := range s.queues {
+		queued += len(q)
+	}
+	return queued, s.active
+}
+
+// Close drains the server: the scheduler stops, every running engine
+// is interrupted and writes a final checkpoint, interrupted jobs go
+// back to the queue as persisted records, and Close returns once no
+// job is running.  A later New over the same DataDir resumes them.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.interrupt)
+	for s.active > 0 {
+		s.idle.Wait()
+	}
+	s.events.Broadcast() // end every event stream
+	s.mu.Unlock()
+	return nil
+}

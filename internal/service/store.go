@@ -1,0 +1,146 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	iofs "io/fs"
+	"path/filepath"
+	"sync"
+
+	"randsync/internal/frame"
+)
+
+// frameArtifact is the frame type of one stored artifact: the document
+// travels inside the standard [len][type][payload][fingerprint]
+// envelope, so truncation and bit rot are detected on every read.
+const frameArtifact byte = 0x41 // 'A'
+
+// ErrNotFound reports a Get for an artifact the store does not hold.
+var ErrNotFound = errors.New("service: artifact not found")
+
+// Store is the content-addressed artifact store: a flat directory of
+// frame-wrapped documents addressed by the FNV-1a 64 fingerprint of
+// their bytes (sixteen lowercase hex digits) — the same hash the
+// visited set fingerprints keys with and the frame envelope verifies
+// payloads with.  Identical documents share one file, so a duplicate
+// submission, a re-run after a crash, and a second tenant's copy of the
+// same logical job all dedup to a single stored verdict.
+//
+// Every operation goes through the frame.FS seam, so the kill drills
+// can interpose fault.DiskChaos; writes use WriteFileAtomic, so a crash
+// mid-Put leaves either the previous file or the new one, never a torn
+// artifact.  Get re-derives the address from the payload on the way
+// out: a file renamed to the wrong hash can never serve the wrong
+// document.
+type Store struct {
+	dir string
+	fs  frame.FS
+
+	mu     sync.Mutex
+	puts   int64 // documents actually written
+	dedups int64 // Put calls answered by an existing identical file
+}
+
+// NewStore opens (creating if needed) the artifact store rooted at dir.
+func NewStore(dir string, fsys frame.FS) (*Store, error) {
+	if fsys == nil {
+		fsys = frame.OS{}
+	}
+	if err := fsys.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("service: create artifact dir: %w", err)
+	}
+	return &Store{dir: dir, fs: fsys}, nil
+}
+
+// ArtifactHash is the content address of a document: its FNV-1a 64
+// fingerprint as sixteen lowercase hex digits.
+func ArtifactHash(payload []byte) string {
+	return fmt.Sprintf("%016x", frame.Fingerprint(payload))
+}
+
+// ValidArtifactHash reports whether h is syntactically a store address.
+func ValidArtifactHash(h string) bool {
+	if len(h) != 16 {
+		return false
+	}
+	for i := 0; i < len(h); i++ {
+		c := h[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Store) path(hash string) string { return filepath.Join(s.dir, hash+".art") }
+
+// Put stores the document and returns its address.  created reports
+// whether a file was written: an identical document already present is
+// the dedup hit, and a present-but-unreadable file (a torn write a
+// crashed process left behind pre-rename would never be visible, but a
+// corrupted disk block might) is silently repaired by rewriting.
+func (s *Store) Put(payload []byte) (hash string, created bool, err error) {
+	hash = ArtifactHash(payload)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.get(hash); err == nil {
+		// Content addressing makes the equality check implicit: a file at
+		// this address that passes frame and address verification IS this
+		// payload.
+		s.dedups++
+		return hash, false, nil
+	}
+	err = frame.WriteFileAtomic(s.fs, s.path(hash), func(w io.Writer) error {
+		return frame.Write(w, frameArtifact, payload)
+	})
+	if err != nil {
+		return hash, false, fmt.Errorf("service: store artifact %s: %w", hash, err)
+	}
+	s.puts++
+	return hash, true, nil
+}
+
+// Get returns the document stored at hash, verifying both the frame
+// fingerprint and that the payload re-derives the address.
+func (s *Store) Get(hash string) ([]byte, error) {
+	if !ValidArtifactHash(hash) {
+		return nil, fmt.Errorf("service: invalid artifact hash %q", hash)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.get(hash)
+}
+
+func (s *Store) get(hash string) ([]byte, error) {
+	f, err := s.fs.Open(s.path(hash))
+	if errors.Is(err, iofs.ErrNotExist) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	typ, payload, err := frame.Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("service: artifact %s is corrupt: %w", hash, err)
+	}
+	if typ != frameArtifact {
+		return nil, fmt.Errorf("service: artifact %s has frame type %#x", hash, typ)
+	}
+	var one [1]byte
+	if n, _ := f.Read(one[:]); n != 0 {
+		return nil, fmt.Errorf("service: artifact %s has trailing bytes", hash)
+	}
+	if ArtifactHash(payload) != hash {
+		return nil, fmt.Errorf("service: artifact %s fails content verification", hash)
+	}
+	return payload, nil
+}
+
+// Stats reports (documents written, Put calls deduped) so far.
+func (s *Store) Stats() (puts, dedups int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.puts, s.dedups
+}

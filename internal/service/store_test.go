@@ -1,0 +1,176 @@
+package service
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"randsync/internal/fault"
+	"randsync/internal/frame"
+)
+
+func TestStoreRoundtrip(t *testing.T) {
+	st, err := NewStore(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := []byte(`{"verdict":"safe","configs":7}`)
+	hash, created, err := st.Put(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !created {
+		t.Fatal("first Put reported a dedup hit")
+	}
+	if !ValidArtifactHash(hash) {
+		t.Fatalf("hash %q is not a valid address", hash)
+	}
+	got, err := st.Get(hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(doc) {
+		t.Fatalf("Get = %q, want %q", got, doc)
+	}
+}
+
+func TestStoreDedup(t *testing.T) {
+	st, err := NewStore(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := []byte("same document")
+	h1, _, err := st.Put(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, created, err := st.Put(append([]byte(nil), doc...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created {
+		t.Fatal("second Put of identical bytes wrote a new file")
+	}
+	if h1 != h2 {
+		t.Fatalf("hashes differ for identical bytes: %s vs %s", h1, h2)
+	}
+	if puts, dedups := st.Stats(); puts != 1 || dedups != 1 {
+		t.Fatalf("stats = (%d puts, %d dedups), want (1, 1)", puts, dedups)
+	}
+}
+
+func TestStoreMisses(t *testing.T) {
+	st, err := NewStore(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Get("0123456789abcdef"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing artifact: err = %v, want ErrNotFound", err)
+	}
+	for _, bad := range []string{"", "short", "0123456789ABCDEF", "0123456789abcdeg", "0123456789abcdef0"} {
+		if _, err := st.Get(bad); err == nil || errors.Is(err, ErrNotFound) {
+			t.Errorf("Get(%q): err = %v, want an invalid-hash error", bad, err)
+		}
+	}
+}
+
+// TestStoreTamperDetected: a document whose file was corrupted, or
+// renamed to a different address, must never be served.
+func TestStoreTamperDetected(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, _, err := st.Put([]byte("the true document"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, hash+".art")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flipped := append([]byte(nil), raw...)
+	flipped[len(flipped)/2] ^= 0x10
+	if err := os.WriteFile(path, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Get(hash); err == nil {
+		t.Fatal("bit-flipped artifact served without error")
+	}
+
+	// A valid frame filed under the wrong address fails the content
+	// re-verification even though its checksum is intact.
+	wrong := "00000000000000ff"
+	if err := os.WriteFile(filepath.Join(dir, wrong+".art"), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Get(wrong); err == nil {
+		t.Fatal("misfiled artifact served without error")
+	}
+
+	if err := os.WriteFile(path, append(raw, 0xde), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Get(hash); err == nil {
+		t.Fatal("trailing-garbage artifact served without error")
+	}
+}
+
+// TestStoreKillSweep: kill the disk at every operation ordinal of a Put
+// in turn; whatever survives, a reopened store over a healthy disk ends
+// up serving the document after one retry, and never serves garbage.
+func TestStoreKillSweep(t *testing.T) {
+	probe := fault.NewDiskChaos(frame.OS{}, fault.DiskPlan{})
+	dir := t.TempDir()
+	st, err := NewStore(filepath.Join(dir, "probe"), probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := []byte("artifact under fire")
+	if _, _, err := st.Put(doc); err != nil {
+		t.Fatal(err)
+	}
+	total := probe.Ops()
+	if total < 2 {
+		t.Fatalf("probe observed only %d ops", total)
+	}
+
+	for k := int64(1); k <= total; k++ {
+		kdir := filepath.Join(dir, "kill")
+		chaos := fault.NewDiskChaos(frame.OS{}, fault.DiskPlan{})
+		chaos.KillAtOp(k)
+		cst, err := NewStore(kdir, chaos)
+		if err == nil {
+			_, _, err = cst.Put(doc)
+			if err != nil && !fault.IsInjected(err) {
+				t.Fatalf("k=%d: non-injected error: %v", k, err)
+			}
+		}
+
+		// The disk comes back: a fresh store over the same directory
+		// must converge — the retry either dedups onto a complete file
+		// or rewrites, and the read verifies end to end.
+		rst, err := NewStore(kdir, frame.OS{})
+		if err != nil {
+			t.Fatalf("k=%d: reopen: %v", k, err)
+		}
+		hash, _, err := rst.Put(doc)
+		if err != nil {
+			t.Fatalf("k=%d: retry Put: %v", k, err)
+		}
+		got, err := rst.Get(hash)
+		if err != nil {
+			t.Fatalf("k=%d: Get after retry: %v", k, err)
+		}
+		if string(got) != string(doc) {
+			t.Fatalf("k=%d: Get = %q, want %q", k, got, doc)
+		}
+		if err := os.RemoveAll(kdir); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

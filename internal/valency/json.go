@@ -7,11 +7,24 @@ import (
 	"randsync/internal/sim"
 )
 
+// ReportSchemaVersion is the schemaVersion stamped into every emitted
+// JSONReport.  Documents written before the field existed decode with 0
+// and are implicitly version 1; version 2 added the field itself.  The
+// verdict fields are append-only — decoders must tolerate unknown
+// fields so version-N documents stay readable by version-M code in
+// either direction (the artifact store keeps documents indefinitely).
+const ReportSchemaVersion = 2
+
 // JSONReport is the machine-readable verdict shape shared by the command
-// line tools (`modelcheck -json`, `separation -json`, `distcheck -json`).
-// It is a projection of Report: verdict fields first, then telemetry,
-// then enough reproduction context to re-run the exact check.
+// line tools (`modelcheck -json`, `separation -json`, `distcheck -json`)
+// and the service's stored artifacts (`checkd`).  It is a projection of
+// Report: verdict fields first, then telemetry, then enough reproduction
+// context to re-run the exact check.
 type JSONReport struct {
+	// SchemaVersion identifies this document's schema
+	// (ReportSchemaVersion); 0 on documents that predate the field.
+	SchemaVersion int `json:"schemaVersion"`
+
 	// Verdict is "safe", "violation" or "incomplete".  A violation
 	// dominates incompleteness: a found counterexample is a definitive
 	// verdict even under a truncated exploration.
@@ -53,12 +66,13 @@ type JSONViolation struct {
 // attached verbatim as the reproduction context.
 func (r *Report) JSON(repro map[string]any) *JSONReport {
 	j := &JSONReport{
-		Verdict:  "safe",
-		Complete: r.Complete,
-		Configs:  r.Configs,
-		Livelock: r.Livelock,
-		Stats:    r.Stats,
-		Repro:    repro,
+		SchemaVersion: ReportSchemaVersion,
+		Verdict:       "safe",
+		Complete:      r.Complete,
+		Configs:       r.Configs,
+		Livelock:      r.Livelock,
+		Stats:         r.Stats,
+		Repro:         repro,
 	}
 	if r.Stats != nil {
 		j.Recovery = r.Stats.Recovery

@@ -1,0 +1,77 @@
+package valency
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestJSONReportSchemaVersionStamped: every emitted document carries
+// the current schema version.
+func TestJSONReportSchemaVersionStamped(t *testing.T) {
+	rep := &Report{Complete: true, Configs: 7}
+	doc, err := rep.JSON(map[string]any{"tool": "test"}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got JSONReport
+	if err := json.Unmarshal(doc, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.SchemaVersion != ReportSchemaVersion {
+		t.Fatalf("schemaVersion = %d, want %d", got.SchemaVersion, ReportSchemaVersion)
+	}
+	if !strings.Contains(string(doc), `"schemaVersion": 2`) {
+		t.Fatalf("document does not spell the field out:\n%s", doc)
+	}
+}
+
+// TestJSONReportOldDocument: a document written before schemaVersion
+// existed still decodes; the absent field reads as 0 (implicit v1).
+func TestJSONReportOldDocument(t *testing.T) {
+	old := `{
+  "verdict": "safe",
+  "complete": true,
+  "configs": 42,
+  "livelock": false,
+  "decisions": [0, 1],
+  "repro": {"tool": "modelcheck", "protocol": "cas"}
+}`
+	var got JSONReport
+	if err := json.Unmarshal([]byte(old), &got); err != nil {
+		t.Fatalf("old document no longer decodes: %v", err)
+	}
+	if got.SchemaVersion != 0 {
+		t.Fatalf("schemaVersion = %d, want 0 for a pre-field document", got.SchemaVersion)
+	}
+	if got.Verdict != "safe" || got.Configs != 42 || !got.Complete {
+		t.Fatalf("old document fields lost: %+v", got)
+	}
+}
+
+// TestJSONReportToleratesUnknownFields: a future schema version may
+// append fields; today's decoder must skip them, not reject the
+// document — the artifact store keeps documents indefinitely and serves
+// them across versions.
+func TestJSONReportToleratesUnknownFields(t *testing.T) {
+	future := `{
+  "schemaVersion": 99,
+  "verdict": "violation",
+  "complete": false,
+  "configs": 3,
+  "livelock": true,
+  "futureField": {"nested": [1, 2, 3]},
+  "anotherNewThing": "yes",
+  "violation": {"kind": "agreement", "detail": "d", "steps": 1, "trace": ["x"], "extra": true}
+}`
+	var got JSONReport
+	if err := json.Unmarshal([]byte(future), &got); err != nil {
+		t.Fatalf("future document rejected: %v", err)
+	}
+	if got.SchemaVersion != 99 || got.Verdict != "violation" || !got.Livelock {
+		t.Fatalf("future document fields lost: %+v", got)
+	}
+	if got.Violation == nil || got.Violation.Kind != "agreement" {
+		t.Fatalf("nested violation lost: %+v", got.Violation)
+	}
+}

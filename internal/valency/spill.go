@@ -33,6 +33,11 @@ import (
 // unrecoverable disk fault degrades the run to the honest "incomplete"
 // verdict with the fault attached; it can never falsify a verdict.
 
+// ErrInterrupted reports a spill run stopped by Options.Interrupt with
+// its state checkpointed, not lost; it aliases the engine's sentinel so
+// callers can errors.Is at either layer.
+var ErrInterrupted = explore.ErrInterrupted
+
 // spillItem is one frontier configuration in the tiered engine: the
 // live configuration plus the scheduler-choice sequence that reaches it
 // from the initial configuration.  Only the schedule goes to disk.
@@ -229,6 +234,7 @@ func checkSpill(proto sim.Protocol, inputs []int64, opts Options) (*Report, *exp
 			},
 			Aux:        func() []byte { return aux.encode(ws) },
 			RestoreAux: aux.restore,
+			Interrupt:  opts.Interrupt,
 		},
 	}
 

@@ -119,6 +119,14 @@ type Options struct {
 	// negative value means GOMAXPROCS.  Parallel and serial runs return
 	// identical verdicts (see checkParallel).
 	Workers int
+	// Interrupt, when non-nil, is polled by the spill engine (CheckSpill
+	// / CheckAllInputsSpill): the first true drains the run to a final
+	// checkpoint manifest and returns ErrInterrupted — resume later with
+	// SpillResume.  This is the graceful-shutdown seam the service
+	// daemon's drain and the CLI signal handlers use.  Check and
+	// CheckAllInputs ignore it: the in-RAM engines have no durable state
+	// worth draining to.
+	Interrupt func() bool
 	// Crash is an explicit crash schedule, the simulator world's
 	// mirror of package fault's crash-stop injection: Crash[pid] = k
 	// means process pid crash-stops after taking k steps — it is never

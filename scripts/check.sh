@@ -80,6 +80,42 @@ go test -race -short -count=1 -timeout 10m \
 spilldir="$(mktemp -d)"
 go run ./cmd/modelcheck -protocol counter-walk -n 2 -workers 2 -mem-budget 4096 -spill-dir "$spilldir" | grep -q "SAFE"
 rm -rf "$spilldir"
+stage="service smoke"
+# Checker-as-a-service drill, in two parts.  First the focused race
+# pass over the coordinator's scheduler, restart/resume and kill drills
+# (the multi-second drills hide behind -short in the broad race pass
+# above, so pin them here by name).  Then the live-daemon drill: start
+# checkd on an ephemeral port, probe it, run a job to its verdict
+# through the API, submit a second job asynchronously, SIGTERM the
+# daemon mid-run (graceful drain to checkpoints), restart it over the
+# same data directory, and require the drained job to resume and finish
+# with a verdict document served from the content-addressed store.
+go test -race -count=1 -timeout 10m \
+	-run 'TestTenantFairness|TestDuplicateSubmission|TestGracefulRestartResume|TestHardKillResume|TestEndToEndLifecycle|TestCheckSpillInterruptResume|TestLoopbackInterruptResume' \
+	./internal/service/ ./internal/valency/ ./internal/dist/
+svcdir="$(mktemp -d)"
+go build -o "$svcdir/checkd" ./cmd/checkd
+go build -o "$svcdir/distcheck" ./cmd/distcheck
+"$svcdir/checkd" -data "$svcdir/data" -listen 127.0.0.1:0 -addr-file "$svcdir/addr" \
+	-max-active 1 -workers 1 &
+checkd_pid=$!
+for _ in $(seq 1 100); do [ -s "$svcdir/addr" ] && break; sleep 0.1; done
+addr="http://$(cat "$svcdir/addr")"
+"$svcdir/distcheck" -ping "$addr" | grep -q "ok"
+"$svcdir/distcheck" -submit "$addr" -tenant smoke -protocol counter-walk -n 2 \
+	| grep -q '"verdict": "safe"'
+jobid="$("$svcdir/distcheck" -submit "$addr" -tenant smoke -protocol counter-walk -n 3 -async)"
+kill -TERM "$checkd_pid"
+wait "$checkd_pid"
+"$svcdir/checkd" -data "$svcdir/data" -listen 127.0.0.1:0 -addr-file "$svcdir/addr2" \
+	-max-active 1 -workers 1 &
+checkd_pid=$!
+for _ in $(seq 1 100); do [ -s "$svcdir/addr2" ] && break; sleep 0.1; done
+addr="http://$(cat "$svcdir/addr2")"
+"$svcdir/distcheck" -submit "$addr" -wait-job "$jobid" | grep -q '"verdict": "safe"'
+kill -TERM "$checkd_pid"
+wait "$checkd_pid"
+rm -rf "$svcdir"
 stage="bench smoke"
 # One iteration of every benchmark: keeps the benchmark suites compiling
 # and their invariant checks (clean-verification assertions) honest
