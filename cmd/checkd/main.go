@@ -8,9 +8,15 @@
 // in-process disk-tiered engine and an in-process loopback distributed
 // cluster with per-tenant round-robin fairness, and their verdict
 // documents land in a content-addressed artifact store under -data
-// (GET /v1/artifacts/{hash}).  SIGINT/SIGTERM drains running jobs to
-// their engine checkpoints before exit; restarting the daemon over the
-// same -data directory re-queues and resumes every unfinished job.
+// (GET /v1/artifacts/{hash}).  Jobs carry optional deadlines and can be
+// cancelled (DELETE /v1/jobs/{id}); transient engine failures retry
+// with capped seeded backoff from the engine checkpoint; per-tenant
+// and global quotas answer over-quota submissions with 429 +
+// Retry-After; GET /v1/healthz reports ok|degraded|draining with
+// per-tenant depth/retry summaries.  SIGINT/SIGTERM drains running
+// jobs to their engine checkpoints before exit; restarting the daemon
+// over the same -data directory re-queues and resumes every unfinished
+// job.
 //
 // -listen accepts ":0" for an ephemeral port; -addr-file then writes
 // the bound address for scripts to pick up, which is how the smoke
@@ -50,6 +56,13 @@ func run(args []string) error {
 	spillEvery := fs.Int("spill-checkpoint-every", 4096, "local-engine admissions between checkpoints")
 	distEvery := fs.Int("dist-checkpoint-every", 16, "dist-engine acknowledged batches between checkpoints")
 	drainTimeout := fs.Duration("drain-timeout", time.Minute, "how long shutdown waits for running jobs to reach a checkpoint")
+	maxQueuedTenant := fs.Int("max-queued-per-tenant", 64, "queued jobs one tenant may hold, 0 = unlimited (429 over quota)")
+	maxActiveTenant := fs.Int("max-active-per-tenant", 0, "running jobs one tenant may hold, 0 = unlimited")
+	maxQueue := fs.Int("max-queue", 1024, "queued jobs daemon-wide, 0 = unlimited (429 over quota)")
+	retryMax := fs.Int("retry-max", 3, "transient-failure re-executions per job (negative = never retry)")
+	retryBase := fs.Duration("retry-base", 100*time.Millisecond, "first retry backoff; later attempts double up to -retry-cap")
+	retryCap := fs.Duration("retry-cap", 30*time.Second, "retry backoff ceiling")
+	retrySeed := fs.Uint64("retry-seed", 1, "seed for deterministic retry-backoff jitter")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -65,6 +78,13 @@ func run(args []string) error {
 		DistWorkers:          *distWorkers,
 		SpillCheckpointEvery: *spillEvery,
 		DistCheckpointEvery:  *distEvery,
+		MaxQueuedPerTenant:   *maxQueuedTenant,
+		MaxActivePerTenant:   *maxActiveTenant,
+		MaxQueue:             *maxQueue,
+		RetryMax:             *retryMax,
+		RetryBase:            *retryBase,
+		RetryCap:             *retryCap,
+		RetrySeed:            *retrySeed,
 		Logf:                 logger.Printf,
 	})
 	if err != nil {

@@ -27,7 +27,10 @@
 // locally: the response is the stored verdict document, fetched from
 // the daemon's content-addressed artifact store.  -async returns after
 // submission; -wait-job picks a submitted job back up later; -ping
-// probes daemon health.
+// probes daemon health; -cancel-job cancels a submitted job;
+// -job-deadline bounds a submitted job's wall-clock lifetime.  Submits
+// rejected by tenant quotas (HTTP 429) are retried after the daemon's
+// Retry-After delay, up to -quota-wait.
 package main
 
 import (
@@ -91,6 +94,9 @@ func run(args []string) error {
 	async := fs.Bool("async", false, "client: return after submission instead of waiting for the verdict")
 	waitJob := fs.String("wait-job", "", "client: wait for an already-submitted job id and print its verdict document")
 	waitTimeout := fs.Duration("wait-timeout", 10*time.Minute, "client: how long -submit/-wait-job wait for a verdict")
+	quotaWait := fs.Duration("quota-wait", 30*time.Second, "client: total time -submit waits out 429 Retry-After quota rejections (0 = fail immediately)")
+	jobDeadline := fs.Int("job-deadline", 0, "client: job deadline in seconds for -submit (0 = none; an expired job lands in the timeout state)")
+	cancelJob := fs.String("cancel-job", "", "client: cancel a submitted job id (needs -submit URL to name the daemon)")
 	ping := fs.String("ping", "", "client: probe a checkd daemon's health at this base URL")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -98,24 +104,41 @@ func run(args []string) error {
 
 	if *ping != "" {
 		c := &service.Client{Base: *ping}
-		if err := c.Health(); err != nil {
+		h, err := c.Health()
+		if err != nil {
 			return err
 		}
-		fmt.Println("ok")
+		fmt.Printf("%s (%d queued, %d running)\n", h.Status, h.Queued, h.Running)
+		return nil
+	}
+	if *cancelJob != "" {
+		if *submit == "" {
+			return fmt.Errorf("-cancel-job needs -submit URL to name the daemon")
+		}
+		c := &service.Client{Base: *submit}
+		st, err := c.Cancel(*cancelJob)
+		if err != nil {
+			return err
+		}
+		if st.State == service.StateRunning {
+			fmt.Fprintf(os.Stderr, "distcheck: job %s cancelling (engine draining to checkpoint)\n", st.ID)
+		}
+		fmt.Println(st.State)
 		return nil
 	}
 	if *submit != "" || *waitJob != "" {
 		spec := service.JobSpec{
-			Tenant:     *tenant,
-			Protocol:   *name,
-			N:          *n,
-			R:          *r,
-			Rounds:     *rounds,
-			Seed:       *seed,
-			AllInputs:  *all,
-			Engine:     *engine,
-			Budget:     *budget,
-			NoSymmetry: *nosym,
+			Tenant:          *tenant,
+			Protocol:        *name,
+			N:               *n,
+			R:               *r,
+			Rounds:          *rounds,
+			Seed:            *seed,
+			AllInputs:       *all,
+			Engine:          *engine,
+			Budget:          *budget,
+			NoSymmetry:      *nosym,
+			DeadlineSeconds: *jobDeadline,
 		}
 		if !*all {
 			var err error
@@ -124,7 +147,7 @@ func run(args []string) error {
 				return err
 			}
 		}
-		return runClient(*submit, *waitJob, spec, *async, *waitTimeout)
+		return runClient(*submit, *waitJob, spec, *async, *waitTimeout, *quotaWait)
 	}
 
 	if *join != "" {
@@ -221,8 +244,8 @@ func run(args []string) error {
 // runClient is the -submit / -wait-job / -async path: hand the job to a
 // checkd daemon and (unless async) print the stored verdict document —
 // the exact bytes the daemon's content-addressed artifact store holds.
-func runClient(base, waitJob string, spec service.JobSpec, async bool, timeout time.Duration) error {
-	c := &service.Client{Base: base}
+func runClient(base, waitJob string, spec service.JobSpec, async bool, timeout, quotaWait time.Duration) error {
+	c := &service.Client{Base: base, QuotaWait: quotaWait}
 	id := waitJob
 	if waitJob == "" {
 		sr, err := c.Submit(spec)
@@ -246,8 +269,13 @@ func runClient(base, waitJob string, spec service.JobSpec, async bool, timeout t
 	if err != nil {
 		return err
 	}
-	if st.State == service.StateFailed {
+	switch st.State {
+	case service.StateFailed:
 		return fmt.Errorf("job %s failed: %s", id, st.Error)
+	case service.StateTimeout:
+		return fmt.Errorf("job %s hit its deadline (checkpoint retained; resubmit to resume)", id)
+	case service.StateCancelled:
+		return fmt.Errorf("job %s was cancelled", id)
 	}
 	doc, err := c.Artifact(st.Artifact)
 	if err != nil {

@@ -243,7 +243,7 @@ func (co *coord) tryResume() (bool, error) {
 	base := filepath.Base(path)
 	typ, payload, err := readFrame(f)
 	if err != nil {
-		return false, fmt.Errorf("dist: checkpoint %s is corrupt or truncated (%v); refusing to resume — delete it to restart the job from scratch", base, err)
+		return false, fmt.Errorf("dist: checkpoint %s is corrupt or truncated (%w); refusing to resume — delete it to restart the job from scratch", base, err)
 	}
 	if typ != msgCheckpoint {
 		return false, fmt.Errorf("dist: %s is not a checkpoint file; refusing to resume", base)

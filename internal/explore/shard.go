@@ -3,6 +3,7 @@ package explore
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -147,11 +148,27 @@ type ShardedStats struct {
 type ShardedResult struct {
 	Stats ShardedStats
 	Edges []Edge
-	// Err is set when the run aborted on an unrecoverable disk fault or
-	// refused to resume from an unusable manifest; the verdict is then
-	// Incomplete — a disk fault can stop a run but never falsify one.
+	// Err is set when the run aborted on an unrecoverable disk fault,
+	// refused to resume from an unusable manifest, or recovered a panic
+	// out of a worker (*PanicError); the verdict is then Incomplete — a
+	// fault or a panicking protocol can stop a run but never falsify one.
 	Err error
 }
+
+// PanicError reports a panic recovered from an exploration worker
+// goroutine.  A protocol implementation that panics mid-expansion would
+// otherwise kill the whole process — unacceptable once the engine runs
+// inside a long-lived service — so each worker runs under recover, the
+// first panic aborts the run (the other workers drain via the stop
+// flag), and the value plus stack travel to the caller in Result.Err.
+type PanicError struct {
+	// Value is the panic value, rendered with %v.
+	Value string
+	// Stack is the panicking goroutine's stack at recovery time.
+	Stack string
+}
+
+func (e *PanicError) Error() string { return "explore: worker panic: " + e.Value }
 
 // ShardCtx is the per-worker handle passed to the expand callback.
 type ShardCtx[T any] struct {
@@ -325,6 +342,9 @@ type sharded[T any] struct {
 	stopped    atomic.Bool
 	finished   atomic.Bool // quiescence detected; all workers exit
 	incomplete atomic.Bool
+
+	panicMu  sync.Mutex
+	panicked *PanicError // first recovered worker panic
 
 	sp *spillRT[T] // disk tier runtime; nil when Spill is off
 }
@@ -738,12 +758,36 @@ func RunSharded[T any](workers int, opts ShardedOptions[T], roots []ShardSeed[T]
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
+			// Expand callbacks run protocol code; a panic there must fail
+			// this run, not the process.  The worker's own defers (barrier
+			// census retirement) run during unwinding, so the recovery
+			// cannot wedge a checkpoint round.  Engine locks are never held
+			// across user code, so no lock leaks either.
+			defer func() {
+				if r := recover(); r != nil {
+					pe := &PanicError{Value: fmt.Sprintf("%v", r), Stack: string(debug.Stack())}
+					e.panicMu.Lock()
+					if e.panicked == nil {
+						e.panicked = pe
+					}
+					e.panicMu.Unlock()
+					e.incomplete.Store(true)
+					e.stopped.Store(true)
+				}
+			}()
 			e.worker(id)
 		}(w)
 	}
 	wg.Wait()
 
-	res := ShardedResult{Stats: ShardedStats{
+	res := ShardedResult{Err: func() error {
+		// A recovered panic outranks every later Err candidate (disk
+		// faults, interrupt): it names the root cause.
+		if e.panicked != nil {
+			return e.panicked
+		}
+		return nil
+	}(), Stats: ShardedStats{
 		Workers:     workers,
 		Admitted:    e.next.Load(),
 		PeakPending: e.peak.Load(),

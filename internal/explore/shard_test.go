@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -401,5 +402,40 @@ func TestRunShardedDuplicateSeeds(t *testing.T) {
 	// One duplicate seed + two expanded tasks.
 	if recycled.Load() != 3 {
 		t.Fatalf("recycled %d payloads, want 3", recycled.Load())
+	}
+}
+
+// TestRunShardedWorkerPanic: a panicking expand callback must not kill
+// the process — the first panic aborts the run, the other workers
+// drain, and the recovered value plus stack surface as Result.Err.
+func TestRunShardedWorkerPanic(t *testing.T) {
+	var processed atomic.Int64
+	res := RunSharded(4, ShardedOptions[int]{},
+		[]ShardSeed[int]{{FP: nodeFP(nodeKey(0)), Key: nodeKey(0), Val: 0}},
+		func(ctx *ShardCtx[int], id int64, n int) {
+			if processed.Add(1) == 50 {
+				panic("protocol exploded at step 50")
+			}
+			for _, s := range []int{n + 1, n + 2, n + 100000} {
+				succ := s
+				ctx.Emit(nodeFP(nodeKey(s)), nodeKey(s), id, func() int { return succ })
+			}
+		})
+	pe, ok := res.Err.(*PanicError)
+	if !ok {
+		t.Fatalf("Result.Err = %v (%T), want *PanicError", res.Err, res.Err)
+	}
+	if pe.Value != "protocol exploded at step 50" {
+		t.Fatalf("panic value %q lost in transit", pe.Value)
+	}
+	if !strings.Contains(pe.Stack, "TestRunShardedWorkerPanic") {
+		t.Fatalf("panic stack does not name the panicking frame:\n%s", pe.Stack)
+	}
+	if !strings.Contains(pe.Error(), "worker panic") {
+		t.Fatalf("Error() = %q", pe.Error())
+	}
+	if !res.Stats.Stopped || !res.Stats.Incomplete {
+		t.Fatalf("panicking run: stopped=%v incomplete=%v, want true/true",
+			res.Stats.Stopped, res.Stats.Incomplete)
 	}
 }

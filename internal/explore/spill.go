@@ -360,7 +360,7 @@ func (t *spillTier) openRun(shard int, name string, wantCount int64) (*tierRun, 
 		typ, hdr, next, err := frame.ReadAt(f, 0)
 		if err != nil || typ != frameRunHeader {
 			f.Close()
-			return fmt.Errorf("bad run header (type %d): %v", typ, err)
+			return fmt.Errorf("bad run header (type %d): %w", typ, err)
 		}
 		r := &spillReader{b: hdr}
 		if v := r.uvarint("version"); v != spillVersion {
@@ -380,7 +380,7 @@ func (t *spillTier) openRun(shard int, name string, wantCount int64) (*tierRun, 
 			typ, payload, nx, err := frame.ReadAt(f, off)
 			if err != nil || typ != frameRunBlock {
 				f.Close()
-				return fmt.Errorf("bad run block at %d: %v", off, err)
+				return fmt.Errorf("bad run block at %d: %w", off, err)
 			}
 			entries, err := decodeRunBlock(payload)
 			if err != nil {
@@ -691,7 +691,7 @@ func (q *spillQueue) loadOldest(deferDelete bool) ([][]byte, error) {
 		defer f.Close()
 		typ, hdr, err := frame.Read(f)
 		if err != nil || typ != frameSegHeader {
-			return fmt.Errorf("bad segment header: %v", err)
+			return fmt.Errorf("bad segment header: %w", err)
 		}
 		r := &spillReader{b: hdr}
 		if v := r.uvarint("version"); v != spillVersion {
@@ -706,7 +706,7 @@ func (q *spillQueue) loadOldest(deferDelete bool) ([][]byte, error) {
 		for int64(len(items)) < count {
 			typ, payload, err := frame.Read(f)
 			if err != nil {
-				return fmt.Errorf("segment item %d: %v", len(items), err)
+				return fmt.Errorf("segment item %d: %w", len(items), err)
 			}
 			if typ != frameSegItem {
 				return fmt.Errorf("frame type %d where item expected", typ)

@@ -598,7 +598,7 @@ func (e *sharded[T]) tryResume() (bool, error) {
 	}
 	aux := r.bytes("manifest aux")
 	if err := r.err(); err != nil {
-		return false, fmt.Errorf("%v; refusing to resume", err)
+		return false, fmt.Errorf("%w; refusing to resume", err)
 	}
 	if sp.cfg.RestoreAux != nil {
 		if err := sp.cfg.RestoreAux(aux); err != nil {

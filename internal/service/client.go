@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -19,6 +20,27 @@ type Client struct {
 	Base string
 	// HTTP is the underlying client (nil = http.DefaultClient).
 	HTTP *http.Client
+	// QuotaWait, when positive, makes Submit honor 429 Retry-After
+	// responses: it sleeps the server's suggested delay and resubmits,
+	// up to this total waiting budget, before giving up with the
+	// *APIError.  Zero (the default) surfaces the 429 immediately —
+	// callers probing quota behavior need to see the rejection.
+	QuotaWait time.Duration
+}
+
+// APIError is a checkd error response: the HTTP status, the server's
+// message, and — on 429 — the server's suggested resubmission delay.
+type APIError struct {
+	Status     int
+	Message    string
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("checkd: %s (HTTP %d)", e.Message, e.Status)
+	}
+	return fmt.Sprintf("checkd: HTTP %d", e.Status)
 }
 
 func (c *Client) http() *http.Client {
@@ -30,7 +52,7 @@ func (c *Client) http() *http.Client {
 
 func (c *Client) url(path string) string { return strings.TrimRight(c.Base, "/") + path }
 
-// decode reads one JSON response, mapping error payloads to errors.
+// decode reads one JSON response, mapping error payloads to *APIError.
 func decode(resp *http.Response, v any) error {
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
@@ -38,11 +60,20 @@ func decode(resp *http.Response, v any) error {
 		return err
 	}
 	if resp.StatusCode >= 400 {
+		ae := &APIError{Status: resp.StatusCode}
 		var e errorResponse
 		if json.Unmarshal(body, &e) == nil && e.Error != "" {
-			return fmt.Errorf("checkd: %s (HTTP %d)", e.Error, resp.StatusCode)
+			ae.Message = e.Error
+			ae.RetryAfter = time.Duration(e.RetryAfterMS) * time.Millisecond
+		} else {
+			ae.Message = string(bytes.TrimSpace(body))
 		}
-		return fmt.Errorf("checkd: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+		if ae.RetryAfter == 0 {
+			if sec, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+				ae.RetryAfter = time.Duration(sec) * time.Second
+			}
+		}
+		return ae
 	}
 	if v == nil {
 		return nil
@@ -50,31 +81,53 @@ func decode(resp *http.Response, v any) error {
 	return json.Unmarshal(body, v)
 }
 
-// Health probes GET /v1/healthz.
-func (c *Client) Health() error {
+// Health fetches the daemon's health report.
+func (c *Client) Health() (*Health, error) {
 	resp, err := c.http().Get(c.url("/v1/healthz"))
 	if err != nil {
-		return err
+		return nil, err
 	}
-	return decode(resp, nil)
+	var h Health
+	if err := decode(resp, &h); err != nil {
+		return nil, err
+	}
+	return &h, nil
 }
 
 // Submit posts a job spec and returns the (possibly deduplicated)
-// job's status.
+// job's status.  With QuotaWait set, a 429 rejection sleeps the
+// server's Retry-After and resubmits until accepted or the waiting
+// budget runs out.
 func (c *Client) Submit(spec JobSpec) (*SubmitResponse, error) {
 	body, err := json.Marshal(&spec)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.http().Post(c.url("/v1/jobs"), "application/json", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
+	var waited time.Duration
+	for {
+		resp, err := c.http().Post(c.url("/v1/jobs"), "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		var sr SubmitResponse
+		err = decode(resp, &sr)
+		if ae, ok := err.(*APIError); ok && ae.Status == http.StatusTooManyRequests {
+			delay := ae.RetryAfter
+			if delay <= 0 {
+				delay = time.Second
+			}
+			if waited+delay > c.QuotaWait {
+				return nil, err
+			}
+			time.Sleep(delay)
+			waited += delay
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &sr, nil
 	}
-	var sr SubmitResponse
-	if err := decode(resp, &sr); err != nil {
-		return nil, err
-	}
-	return &sr, nil
 }
 
 // Job fetches one job's status.
@@ -101,6 +154,26 @@ func (c *Client) Jobs() ([]JobStatus, error) {
 		return nil, err
 	}
 	return jr.Jobs, nil
+}
+
+// Cancel asks the daemon to cancel a job.  The returned status is the
+// job's state at the moment of the request: cancelled if it was
+// queued, still running (with CancelRequested set) if the engine is
+// draining to its checkpoint.
+func (c *Client) Cancel(id string) (*JobStatus, error) {
+	req, err := http.NewRequest(http.MethodDelete, c.url("/v1/jobs/"+id), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	var st JobStatus
+	if err := decode(resp, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
 }
 
 // Events follows a job's event stream, invoking fn on every status
@@ -134,15 +207,28 @@ func (c *Client) Events(id string, fn func(JobStatus)) (*JobStatus, error) {
 	return last, sc.Err()
 }
 
-// Wait polls a job until it reaches a terminal state.  Polling (rather
-// than holding an event stream) deliberately survives daemon restarts:
-// connection errors are retried until timeout, which is what the
-// kill/restart drills need.
+// Wait blocks until a job reaches a terminal state.  It rides the
+// event stream — one held request instead of a poll every few hundred
+// milliseconds, and terminal transitions arrive the instant they
+// happen — and falls back to polling whenever the stream breaks: a
+// daemon restart kills the held connection, the poll path retries
+// through the outage until the successor daemon answers, and the next
+// loop turn re-establishes the stream.  That layering keeps the
+// kill/restart drills working while waits against a healthy daemon
+// stay cheap.
 func (c *Client) Wait(id string, timeout time.Duration) (*JobStatus, error) {
 	deadline := time.Now().Add(timeout)
 	for {
+		// Stream first: returns when the job is terminal, the server
+		// drains, or the connection drops.
+		if st, err := c.Events(id, nil); err == nil && st != nil && TerminalState(st.State) {
+			return st, nil
+		}
+		// Stream gone or ended non-terminal (shutdown drain, restart
+		// window): one poll answers "already terminal?" and tells us the
+		// daemon is back; then try the stream again.
 		st, err := c.Job(id)
-		if err == nil && (st.State == StateDone || st.State == StateFailed) {
+		if err == nil && TerminalState(st.State) {
 			return st, nil
 		}
 		if time.Now().After(deadline) {

@@ -6,10 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 )
 
 // API shapes shared by the server, the Go client (client.go) and curl
-// users.  Errors are always `{"error":"..."}` JSON with a 4xx/5xx code.
+// users.  Errors are always `{"error":"..."}` JSON with a 4xx/5xx code;
+// quota rejections add a Retry-After header and a retryAfterMs field.
 
 // SubmitResponse answers POST /v1/jobs.
 type SubmitResponse struct {
@@ -26,6 +28,8 @@ type JobsResponse struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// RetryAfterMS mirrors the Retry-After header on 429 responses.
+	RetryAfterMS int64 `json:"retryAfterMs,omitempty"`
 }
 
 // maxJobBody bounds a job submission; specs are a few hundred bytes.
@@ -33,19 +37,22 @@ const maxJobBody = 1 << 20
 
 // Handler is the service's HTTP surface:
 //
-//	GET  /v1/healthz              liveness probe
-//	POST /v1/jobs                 submit a JobSpec, dedup by job hash
-//	GET  /v1/jobs                 list all jobs
-//	GET  /v1/jobs/{id}            one job's status
-//	GET  /v1/jobs/{id}/events     status stream, one JSON line per
+//	GET    /v1/healthz            health report: ok|degraded|draining
+//	                              plus per-tenant queue/retry summaries
+//	POST   /v1/jobs               submit a JobSpec, dedup by job hash;
+//	                              429 + Retry-After when over quota
+//	GET    /v1/jobs               list all jobs
+//	GET    /v1/jobs/{id}          one job's status
+//	DELETE /v1/jobs/{id}          cancel a job (409 if already terminal)
+//	GET    /v1/jobs/{id}/events   status stream, one JSON line per
 //	                              transition, until the job is terminal
-//	GET  /v1/artifacts/{hash}     a stored verdict document
+//	GET    /v1/artifacts/{hash}   a stored verdict document
 //
 // Method mismatches answer 405 via the mux's method patterns.
 func Handler(s *Server) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		writeJSON(w, http.StatusOK, s.Health())
 	})
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		var spec JobSpec
@@ -56,12 +63,22 @@ func Handler(s *Server) http.Handler {
 			return
 		}
 		st, dup, err := s.Submit(spec)
-		if err != nil {
-			code := http.StatusBadRequest
-			if errors.Is(err, ErrShuttingDown) {
-				code = http.StatusServiceUnavailable
-			}
-			writeError(w, code, err.Error())
+		var qe *QuotaError
+		switch {
+		case errors.As(err, &qe):
+			// 429 with both machine-readable forms of the wait: the
+			// standard header (in whole seconds, rounded up) and the
+			// exact milliseconds in the body.
+			ms := qe.RetryAfter.Milliseconds()
+			w.Header().Set("Retry-After", strconv.FormatInt((ms+999)/1000, 10))
+			writeJSON(w, http.StatusTooManyRequests,
+				errorResponse{Error: err.Error(), RetryAfterMS: ms})
+			return
+		case errors.Is(err, ErrShuttingDown):
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		case err != nil:
+			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
 		code := http.StatusCreated
@@ -80,6 +97,20 @@ func Handler(s *Server) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.Cancel(r.PathValue("id"))
+		switch {
+		case errors.Is(err, ErrNoSuchJob):
+			writeError(w, http.StatusNotFound, "no such job")
+		case errors.Is(err, ErrAlreadyTerminal):
+			writeError(w, http.StatusConflict,
+				fmt.Sprintf("job is already %s", st.State))
+		case err != nil:
+			writeError(w, http.StatusInternalServerError, err.Error())
+		default:
+			writeJSON(w, http.StatusOK, st)
+		}
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
 		serveEvents(s, w, r)

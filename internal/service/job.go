@@ -59,6 +59,14 @@ type JobSpec struct {
 	NoSymmetry bool `json:"noSymmetry,omitempty"`
 	// Crash lets the listed processes crash mid-step (t-resilience).
 	Crash []int `json:"crash,omitempty"`
+
+	// DeadlineSeconds bounds the job's wall-clock lifetime from
+	// submission (0 = no deadline).  An expired job lands in the timeout
+	// terminal state with its engine checkpoint retained.  Deliberately
+	// excluded from ID() — the deadline changes when the job is allowed
+	// to stop, not what work it does, so resubmitting with a new
+	// deadline dedups onto (or, after timeout, resumes) the same job.
+	DeadlineSeconds int `json:"deadlineSeconds,omitempty"`
 }
 
 // normalize fills defaults in place.
@@ -115,6 +123,9 @@ func (j *JobSpec) Validate() error {
 	}
 	if j.MemBudget < 0 {
 		return errors.New("memBudget must be >= 0")
+	}
+	if j.DeadlineSeconds < 0 {
+		return errors.New("deadlineSeconds must be >= 0")
 	}
 	if len(j.Crash) > j.N {
 		return fmt.Errorf("%d crash processes for n=%d", len(j.Crash), j.N)

@@ -12,6 +12,14 @@
 // re-queues anything that was queued or running, and the engines resume
 // from their own checkpoints; graceful shutdown drains running jobs to
 // a checkpoint first, so restart loses no completed exploration.
+//
+// The lifecycle layer on top (retry.go, this file) makes the daemon fit
+// for unattended traffic: jobs carry deadlines and can be cancelled
+// (both drive the engines' Interrupt seams, so the checkpoint survives),
+// transient engine failures requeue with capped seeded backoff under a
+// per-job attempt budget, tenant quotas bound queue growth, and every
+// engine invocation runs under recover so a panicking protocol fails
+// one job instead of the daemon.
 package service
 
 import (
@@ -20,8 +28,10 @@ import (
 	"fmt"
 	"io"
 	"path/filepath"
+	"runtime/debug"
 	"sort"
 	"sync"
+	"time"
 
 	"randsync/internal/dist"
 	"randsync/internal/frame"
@@ -35,12 +45,45 @@ const frameJob byte = 0x4A // 'J'
 // layer maps it to 503.
 var ErrShuttingDown = errors.New("service: server is shutting down")
 
+// ErrNoSuchJob reports an operation on a job ID the daemon has never
+// seen; the HTTP layer maps it to 404.
+var ErrNoSuchJob = errors.New("service: no such job")
+
+// ErrAlreadyTerminal reports a cancellation of a job that already
+// reached a terminal state; the HTTP layer maps it to 409.
+var ErrAlreadyTerminal = errors.New("service: job is already terminal")
+
 // Job states.
 const (
 	StateQueued  = "queued"
 	StateRunning = "running"
 	StateDone    = "done"
 	StateFailed  = "failed"
+	// StateTimeout is the terminal state of a job whose DeadlineSeconds
+	// expired; its engine checkpoint is retained, so resubmitting the
+	// same spec resumes rather than restarts.
+	StateTimeout = "timeout"
+	// StateCancelled is the terminal state of a job removed by
+	// DELETE /v1/jobs/{id}; its checkpoint is likewise retained.
+	StateCancelled = "cancelled"
+)
+
+// TerminalState reports whether state names a terminal job state: the
+// job will never transition again and holds exactly one honest outcome.
+func TerminalState(state string) bool {
+	switch state {
+	case StateDone, StateFailed, StateTimeout, StateCancelled:
+		return true
+	}
+	return false
+}
+
+// Stop reasons: why a running job's interrupt channel was closed.  The
+// reason decides the terminal state (or requeue) once the engine drains.
+const (
+	stopCancel   = "cancel"
+	stopDeadline = "deadline"
+	stopShutdown = "shutdown"
 )
 
 // JobStatus is the wire form of one job's lifecycle: spec, state, and
@@ -51,25 +94,41 @@ type JobStatus struct {
 	SchemaVersion int     `json:"schemaVersion"`
 	ID            string  `json:"id"`
 	Spec          JobSpec `json:"spec"`
-	// State is queued, running, done or failed.
+	// State is queued, running, done, failed, timeout or cancelled.
 	State string `json:"state"`
 	// Verdict, Configs and Artifact are set once State is done; Artifact
 	// is the content address of the verdict document in the store.
 	Verdict  string `json:"verdict,omitempty"`
 	Configs  int    `json:"configs,omitempty"`
 	Artifact string `json:"artifact,omitempty"`
-	// Error is set once State is failed.
+	// Error is set once State is failed; Stack carries the recovered
+	// stack when the failure was a panicking engine.
 	Error string `json:"error,omitempty"`
+	Stack string `json:"stack,omitempty"`
 	// Runs counts executions started; Resumes counts interrupted runs
 	// that went back to the queue with a checkpoint on disk.
 	Runs    int `json:"runs,omitempty"`
 	Resumes int `json:"resumes,omitempty"`
+	// Retries counts transient-failure re-executions; LastFailure and
+	// FailureClass describe the most recent engine failure; NextRetryMS
+	// is the wall-clock time (Unix ms) of the pending backoff retry, 0
+	// when none is pending.
+	Retries      int    `json:"retries,omitempty"`
+	LastFailure  string `json:"lastFailure,omitempty"`
+	FailureClass string `json:"failureClass,omitempty"`
+	NextRetryMS  int64  `json:"nextRetryMs,omitempty"`
+	// DeadlineAtMS is the job's absolute deadline (Unix ms), stamped at
+	// submission from Spec.DeadlineSeconds; 0 means no deadline.
+	DeadlineAtMS int64 `json:"deadlineAtMs,omitempty"`
+	// CancelRequested records that cancellation was requested while the
+	// job was running (the engine drains to its checkpoint first).
+	CancelRequested bool `json:"cancelRequested,omitempty"`
 	// Seq is the completion order across the daemon's lifetime (1-based);
 	// 0 until the job reaches a terminal state.
 	Seq int64 `json:"seq,omitempty"`
 }
 
-func (j *JobStatus) terminal() bool { return j.State == StateDone || j.State == StateFailed }
+func (j *JobStatus) terminal() bool { return TerminalState(j.State) }
 
 // Config wires a Server, one field per component seam (the style of
 // modular daemons: every dependency explicit, every knob defaulted).
@@ -90,6 +149,22 @@ type Config struct {
 	// cuts lose little work (defaults 4096 / 16).
 	SpillCheckpointEvery int
 	DistCheckpointEvery  int
+	// MaxQueuedPerTenant caps one tenant's queued (non-running,
+	// non-terminal) jobs; MaxActivePerTenant caps one tenant's
+	// concurrently running jobs; MaxQueue bounds queued jobs
+	// daemon-wide.  0 means unlimited.  Over-quota submissions return
+	// *QuotaError (HTTP 429 + Retry-After).
+	MaxQueuedPerTenant int
+	MaxActivePerTenant int
+	MaxQueue           int
+	// RetryMax is the per-job budget of transient-failure re-executions
+	// (default 3; negative disables retries).  RetryBase and RetryCap
+	// shape the capped exponential backoff between attempts (defaults
+	// 100ms and 30s); RetrySeed seeds the deterministic jitter.
+	RetryMax  int
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	RetrySeed uint64
 	// Paused starts the scheduler stopped: jobs queue but none run until
 	// Resume.  The fairness tests use this to build a deterministic
 	// backlog before releasing the scheduler.
@@ -117,6 +192,15 @@ func (c *Config) fill() {
 	if c.DistCheckpointEvery <= 0 {
 		c.DistCheckpointEvery = 16
 	}
+	if c.RetryMax == 0 {
+		c.RetryMax = 3
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 100 * time.Millisecond
+	}
+	if c.RetryCap <= 0 {
+		c.RetryCap = 30 * time.Second
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -129,24 +213,39 @@ type Server struct {
 	cfg   Config
 	store *Store
 
-	mu      sync.Mutex
-	events  *sync.Cond // broadcast on every job transition
-	idle    *sync.Cond // broadcast when active drops to zero
-	jobs    map[string]*job
-	queues  map[string][]*job // per-tenant FIFO
-	tenants []string          // first-seen order, the round-robin ring
-	rr      int               // next ring slot to try
-	active  int
-	paused  bool
-	closed  bool
-	seq     int64
+	mu           sync.Mutex
+	events       *sync.Cond // broadcast on every job transition
+	idle         *sync.Cond // broadcast when active drops to zero
+	jobs         map[string]*job
+	queues       map[string][]*job // per-tenant FIFO
+	tenants      []string          // first-seen order, the round-robin ring
+	rr           int               // next ring slot to try
+	active       int
+	activeTenant map[string]int    // running jobs per tenant
+	lastErr      map[string]string // most recent failure message per tenant
+	paused       bool
+	closed       bool
+	seq          int64
 
-	interrupt chan struct{} // closed by Close: every engine drains
+	// testHook, when set by a same-package test, runs at the top of
+	// every engine invocation — inside the recover guard — so the panic
+	// isolation path can be exercised without registering a panicking
+	// protocol.
+	testHook func(spec *JobSpec)
 }
 
 type job struct {
 	st  JobStatus
 	ver int64 // bumped on every transition; event streams follow it
+
+	// stop is the run's interrupt channel, non-nil while the job
+	// executes; stopReason (set under s.mu before the close) tells the
+	// completion path why the engine was drained.
+	stop       chan struct{}
+	stopReason string
+
+	deadlineTimer *time.Timer // fires deadlineExpired; nil without a deadline
+	retryTimer    *time.Timer // fires retryReady; nil without a pending retry
 }
 
 // New opens (creating if needed) a server over dataDir, reloads the
@@ -161,16 +260,20 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	if n := store.Swept(); n > 0 {
+		cfg.Logf("service: swept %d orphaned artifact temp file(s)", n)
+	}
 	if err := cfg.FS.MkdirAll(filepath.Join(cfg.DataDir, "jobs")); err != nil {
 		return nil, fmt.Errorf("service: create jobs dir: %w", err)
 	}
 	s := &Server{
-		cfg:       cfg,
-		store:     store,
-		jobs:      make(map[string]*job),
-		queues:    make(map[string][]*job),
-		paused:    cfg.Paused,
-		interrupt: make(chan struct{}),
+		cfg:          cfg,
+		store:        store,
+		jobs:         make(map[string]*job),
+		queues:       make(map[string][]*job),
+		activeTenant: make(map[string]int),
+		lastErr:      make(map[string]string),
+		paused:       cfg.Paused,
 	}
 	s.events = sync.NewCond(&s.mu)
 	s.idle = sync.NewCond(&s.mu)
@@ -185,9 +288,10 @@ func New(cfg Config) (*Server, error) {
 
 // loadJobs re-reads every persisted job record.  Queued and running
 // jobs go back to the queue (a running job's engine checkpoint, if any,
-// makes the re-run a resume); terminal jobs are kept for status and
-// artifact serving.  Corrupt records are logged and skipped, not fatal:
-// one torn record must not brick the daemon.
+// makes the re-run a resume); an expired deadline times the job out
+// right here, an unexpired one re-arms; terminal jobs are kept for
+// status and artifact serving.  Corrupt records are logged and skipped,
+// not fatal: one torn record must not brick the daemon.
 func (s *Server) loadJobs() error {
 	dir := filepath.Join(s.cfg.DataDir, "jobs")
 	ents, err := s.cfg.FS.ReadDir(dir)
@@ -224,7 +328,15 @@ func (s *Server) loadJobs() error {
 			}
 			fallthrough
 		case StateQueued:
-			s.enqueueLocked(j)
+			// Backoff delays do not survive restarts: the job goes
+			// straight back in line.
+			j.st.NextRetryMS = 0
+			if j.st.DeadlineAtMS > 0 && time.Now().UnixMilli() >= j.st.DeadlineAtMS {
+				s.finishLocked(j, StateTimeout)
+			} else {
+				s.armDeadlineLocked(j)
+				s.enqueueLocked(j)
+			}
 		}
 		s.jobs[j.st.ID] = j
 	}
@@ -235,7 +347,21 @@ func (s *Server) jobDir(id string) string {
 	return filepath.Join(s.cfg.DataDir, "jobs", id)
 }
 
+// readJobRecord reads and verifies one persisted record, retrying a few
+// times so a transient read fault (the disk-chaos drills inject them at
+// reload time too) does not cost a job its history.
 func (s *Server) readJobRecord(id string) (*JobStatus, error) {
+	var st *JobStatus
+	var err error
+	for attempt := 0; attempt < 4; attempt++ {
+		if st, err = s.readJobRecordOnce(id); err == nil {
+			return st, nil
+		}
+	}
+	return nil, err
+}
+
+func (s *Server) readJobRecordOnce(id string) (*JobStatus, error) {
 	f, err := s.cfg.FS.Open(filepath.Join(s.jobDir(id), "job.rec"))
 	if err != nil {
 		return nil, err
@@ -259,25 +385,32 @@ func (s *Server) readJobRecord(id string) (*JobStatus, error) {
 }
 
 // writeJobLocked persists j's record atomically and bumps its event
-// version.  Callers hold s.mu.
+// version.  A handful of write attempts ride out transient disk faults;
+// WriteFileAtomic makes the retry safe (the previous record survives a
+// failed attempt intact).  Callers hold s.mu.
 func (s *Server) writeJobLocked(j *job) error {
 	payload, err := json.Marshal(&j.st)
 	if err != nil {
 		return err
 	}
 	path := filepath.Join(s.jobDir(j.st.ID), "job.rec")
-	err = frame.WriteFileAtomic(s.cfg.FS, path, func(w io.Writer) error {
-		return frame.Write(w, frameJob, payload)
-	})
+	for attempt := 0; attempt < 4; attempt++ {
+		if err = frame.WriteFileAtomic(s.cfg.FS, path, func(w io.Writer) error {
+			return frame.Write(w, frameJob, payload)
+		}); err == nil {
+			break
+		}
+	}
 	j.ver++
 	s.events.Broadcast()
 	return err
 }
 
 // Submit validates, dedups and enqueues a job.  A spec whose ID matches
-// an existing non-failed job is a duplicate: the existing status is
-// returned and nothing is enqueued.  Resubmitting a failed job retries
-// it.
+// an existing queued, running or done job is a duplicate: the existing
+// status is returned and nothing is enqueued.  Resubmitting a failed,
+// timed-out or cancelled job re-runs it (resuming from any checkpoint
+// its earlier runs left).  Over-quota submissions return *QuotaError.
 func (s *Server) Submit(spec JobSpec) (JobStatus, bool, error) {
 	if err := spec.Validate(); err != nil {
 		return JobStatus{}, false, err
@@ -288,25 +421,78 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, bool, error) {
 	if s.closed {
 		return JobStatus{}, false, ErrShuttingDown
 	}
-	if j, ok := s.jobs[id]; ok && j.st.State != StateFailed {
-		return j.st, true, nil
+	if j, ok := s.jobs[id]; ok {
+		switch j.st.State {
+		case StateQueued, StateRunning, StateDone:
+			return j.st, true, nil
+		}
+	}
+	if err := s.quotaLocked(spec.Tenant); err != nil {
+		return JobStatus{}, false, err
 	}
 	if err := s.cfg.FS.MkdirAll(s.jobDir(id)); err != nil {
 		return JobStatus{}, false, fmt.Errorf("service: create job dir: %w", err)
 	}
 	j := s.jobs[id]
 	if j == nil {
-		j = &job{st: JobStatus{SchemaVersion: valency.ReportSchemaVersion, ID: id, Spec: spec}}
+		j = &job{st: JobStatus{SchemaVersion: valency.ReportSchemaVersion, ID: id}}
 		s.jobs[id] = j
 	}
+	// A resubmission of a terminal job starts a fresh lifecycle over the
+	// old checkpoints: outcome fields reset, history counters persist.
+	j.st.Spec = spec
 	j.st.State = StateQueued
-	j.st.Error = ""
+	j.st.Verdict, j.st.Configs, j.st.Artifact = "", 0, ""
+	j.st.Error, j.st.Stack = "", ""
+	j.st.LastFailure, j.st.FailureClass = "", ""
+	j.st.Retries, j.st.NextRetryMS = 0, 0
+	j.st.CancelRequested = false
+	j.st.Seq = 0
+	j.st.DeadlineAtMS = 0
+	if spec.DeadlineSeconds > 0 {
+		j.st.DeadlineAtMS = time.Now().UnixMilli() + int64(spec.DeadlineSeconds)*1000
+	}
 	if err := s.writeJobLocked(j); err != nil {
 		return JobStatus{}, false, err
 	}
+	s.armDeadlineLocked(j)
 	s.enqueueLocked(j)
 	s.dispatchLocked()
 	return j.st, false, nil
+}
+
+// quotaLocked enforces the global queue bound and the submitting
+// tenant's queued-job cap.  The Retry-After suggestion is deliberately
+// simple — one second — long enough for a scheduler slot to turn over
+// on typical jobs, short enough that an obedient client converges fast.
+func (s *Server) quotaLocked(tenant string) error {
+	if s.cfg.MaxQueue <= 0 && s.cfg.MaxQueuedPerTenant <= 0 {
+		return nil
+	}
+	total, mine := 0, 0
+	for _, j := range s.jobs {
+		if j.st.State != StateQueued {
+			continue
+		}
+		total++
+		if j.st.Spec.Tenant == tenant {
+			mine++
+		}
+	}
+	if s.cfg.MaxQueue > 0 && total >= s.cfg.MaxQueue {
+		return &QuotaError{
+			Reason:     fmt.Sprintf("queue is full (%d jobs)", total),
+			RetryAfter: time.Second,
+		}
+	}
+	if s.cfg.MaxQueuedPerTenant > 0 && mine >= s.cfg.MaxQueuedPerTenant {
+		return &QuotaError{
+			Tenant:     tenant,
+			Reason:     fmt.Sprintf("has %d queued jobs (cap %d)", mine, s.cfg.MaxQueuedPerTenant),
+			RetryAfter: time.Second,
+		}
+	}
+	return nil
 }
 
 func (s *Server) enqueueLocked(j *job) {
@@ -317,12 +503,28 @@ func (s *Server) enqueueLocked(j *job) {
 	s.queues[t] = append(s.queues[t], j)
 }
 
+// removeQueuedLocked takes j out of its tenant's queue if present.
+func (s *Server) removeQueuedLocked(j *job) {
+	t := j.st.Spec.Tenant
+	q := s.queues[t]
+	for i, cand := range q {
+		if cand == j {
+			s.queues[t] = append(q[:i:i], q[i+1:]...)
+			return
+		}
+	}
+}
+
 // nextLocked pops the next job round-robin across the tenant ring, so
-// a tenant with a deep backlog cannot starve one with a single job.
+// a tenant with a deep backlog cannot starve one with a single job;
+// tenants at their active-job cap are skipped.
 func (s *Server) nextLocked() *job {
 	for range s.tenants {
 		t := s.tenants[s.rr%len(s.tenants)]
 		s.rr++
+		if s.cfg.MaxActivePerTenant > 0 && s.activeTenant[t] >= s.cfg.MaxActivePerTenant {
+			continue
+		}
 		if q := s.queues[t]; len(q) > 0 {
 			j := q[0]
 			s.queues[t] = q[1:]
@@ -333,8 +535,8 @@ func (s *Server) nextLocked() *job {
 }
 
 // dispatchLocked fills free scheduler slots.  There is no dispatcher
-// goroutine: submit, completion, Resume and startup each call this
-// while holding the lock.
+// goroutine: submit, completion, retry readiness, Resume and startup
+// each call this while holding the lock.
 func (s *Server) dispatchLocked() {
 	if s.paused || s.closed {
 		return
@@ -350,6 +552,9 @@ func (s *Server) dispatchLocked() {
 			s.cfg.Logf("service: persist job %s: %v", j.st.ID, err)
 		}
 		s.active++
+		s.activeTenant[j.st.Spec.Tenant]++
+		j.stop = make(chan struct{})
+		j.stopReason = ""
 		go s.runJob(j)
 	}
 }
@@ -362,50 +567,155 @@ func (s *Server) Resume() {
 	s.mu.Unlock()
 }
 
-// runJob executes one job to a verdict, a checkpointed interrupt, or a
-// failure, then frees its scheduler slot.
+// stopRunLocked closes a running job's interrupt channel with a reason;
+// the first reason wins (a cancel racing a deadline racing a shutdown
+// resolves to whichever got the lock first).
+func (s *Server) stopRunLocked(j *job, reason string) {
+	if j.stop != nil && j.stopReason == "" {
+		j.stopReason = reason
+		close(j.stop)
+	}
+}
+
+// finishLocked moves j to a terminal state, stamps its completion
+// sequence number, stops its timers and persists the record.
+func (s *Server) finishLocked(j *job, state string) {
+	if j.deadlineTimer != nil {
+		j.deadlineTimer.Stop()
+		j.deadlineTimer = nil
+	}
+	if j.retryTimer != nil {
+		j.retryTimer.Stop()
+		j.retryTimer = nil
+	}
+	j.st.NextRetryMS = 0
+	s.seq++
+	j.st.State = state
+	j.st.Seq = s.seq
+	if werr := s.writeJobLocked(j); werr != nil {
+		s.cfg.Logf("service: persist job %s: %v", j.st.ID, werr)
+	}
+}
+
+// armDeadlineLocked (re-)arms j's deadline timer from DeadlineAtMS.
+func (s *Server) armDeadlineLocked(j *job) {
+	if j.deadlineTimer != nil {
+		j.deadlineTimer.Stop()
+		j.deadlineTimer = nil
+	}
+	if j.st.DeadlineAtMS == 0 {
+		return
+	}
+	d := time.Until(time.UnixMilli(j.st.DeadlineAtMS))
+	if d < 0 {
+		d = 0
+	}
+	j.deadlineTimer = time.AfterFunc(d, func() { s.deadlineExpired(j) })
+}
+
+// deadlineExpired fires when a job's wall-clock deadline passes.  A
+// queued job (including one waiting out a backoff) times out on the
+// spot; a running job's engine is interrupted and the completion path
+// lands it in timeout once the checkpoint is written.
+func (s *Server) deadlineExpired(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || j.st.terminal() || j.st.DeadlineAtMS == 0 {
+		return
+	}
+	if time.Now().UnixMilli() < j.st.DeadlineAtMS {
+		// A resubmission moved the deadline; the timer was re-armed.
+		return
+	}
+	switch j.st.State {
+	case StateRunning:
+		s.stopRunLocked(j, stopDeadline)
+	case StateQueued:
+		s.removeQueuedLocked(j)
+		s.finishLocked(j, StateTimeout)
+	}
+}
+
+// Cancel removes a job: queued jobs (and jobs waiting out a retry
+// backoff) land in cancelled immediately; a running job's engine is
+// interrupted — it drains to its checkpoint first, so the returned
+// status still says running with CancelRequested set, and the event
+// stream delivers the cancelled state moments later.  Terminal jobs
+// return ErrAlreadyTerminal.
+func (s *Server) Cancel(id string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, ErrNoSuchJob
+	}
+	switch {
+	case j.st.terminal():
+		return j.st, ErrAlreadyTerminal
+	case j.st.State == StateRunning:
+		if !j.st.CancelRequested {
+			j.st.CancelRequested = true
+			s.stopRunLocked(j, stopCancel)
+			if werr := s.writeJobLocked(j); werr != nil {
+				s.cfg.Logf("service: persist job %s: %v", j.st.ID, werr)
+			}
+		}
+	default: // queued, possibly in backoff
+		s.removeQueuedLocked(j)
+		j.st.CancelRequested = true
+		s.finishLocked(j, StateCancelled)
+		s.dispatchLocked()
+	}
+	return j.st, nil
+}
+
+// runJob executes one job to a verdict, a checkpointed interrupt, a
+// retryable failure, or a terminal failure, then frees its scheduler
+// slot.
 func (s *Server) runJob(j *job) {
-	rep, err := s.execute(&j.st.Spec, j.st.ID)
+	rep, err := s.executeRecovered(j)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.active--
+	s.activeTenant[j.st.Spec.Tenant]--
+	reason := j.stopReason
+	j.stop = nil
+	j.stopReason = ""
+
 	switch {
 	case err == nil:
-		doc, derr := VerdictDocument(rep, &j.st.Spec)
-		if derr != nil {
-			err = derr
-			break
-		}
-		hash, _, perr := s.store.Put(doc)
-		if perr != nil {
-			err = perr
-			break
-		}
-		var parsed valency.JSONReport
-		_ = json.Unmarshal(doc, &parsed)
-		s.seq++
-		j.st.State = StateDone
-		j.st.Verdict = parsed.Verdict
-		j.st.Configs = rep.Configs
-		j.st.Artifact = hash
-		j.st.Seq = s.seq
+		err = s.completeLocked(j, rep)
 	case errors.Is(err, valency.ErrInterrupted) || errors.Is(err, dist.ErrInterrupted):
-		// Graceful drain: the engine checkpoint is on disk; back to the
-		// queue so the next daemon generation resumes it.
-		j.st.State = StateQueued
-		j.st.Resumes++
+		// The engine drained to a checkpoint; the stop reason says where
+		// the job goes next.
+		switch reason {
+		case stopCancel:
+			s.finishLocked(j, StateCancelled)
+		case stopDeadline:
+			s.finishLocked(j, StateTimeout)
+		default:
+			// Shutdown drain: back to the queue so the next daemon
+			// generation resumes it.
+			j.st.State = StateQueued
+			j.st.Resumes++
+			if werr := s.writeJobLocked(j); werr != nil {
+				s.cfg.Logf("service: persist job %s: %v", j.st.ID, werr)
+			}
+		}
 		err = nil
 	}
 	if err != nil {
-		s.seq++
-		j.st.State = StateFailed
-		j.st.Error = err.Error()
-		j.st.Seq = s.seq
-		s.cfg.Logf("service: job %s failed: %v", j.st.ID, err)
-	}
-	if werr := s.writeJobLocked(j); werr != nil {
-		s.cfg.Logf("service: persist job %s: %v", j.st.ID, werr)
+		// A cancel or deadline that raced the engine's own failure still
+		// wins: the user asked for the job to end, and it has.
+		switch reason {
+		case stopCancel:
+			s.finishLocked(j, StateCancelled)
+		case stopDeadline:
+			s.finishLocked(j, StateTimeout)
+		default:
+			s.failLocked(j, err)
+		}
 	}
 	if s.active == 0 {
 		s.idle.Broadcast()
@@ -413,10 +723,95 @@ func (s *Server) runJob(j *job) {
 	s.dispatchLocked()
 }
 
+// completeLocked lands a successful run: document, artifact, done.  The
+// returned error (document rendering or store failure) sends the job
+// down the failure-classification path instead.
+func (s *Server) completeLocked(j *job, rep *valency.Report) error {
+	doc, err := VerdictDocument(rep, &j.st.Spec)
+	if err != nil {
+		return err
+	}
+	hash, _, err := s.store.Put(doc)
+	if err != nil {
+		return err
+	}
+	var parsed valency.JSONReport
+	_ = json.Unmarshal(doc, &parsed)
+	j.st.Verdict = parsed.Verdict
+	j.st.Configs = rep.Configs
+	j.st.Artifact = hash
+	s.finishLocked(j, StateDone)
+	return nil
+}
+
+// failLocked classifies a run failure: a transient failure with budget
+// left schedules a backoff retry (the engine checkpoint makes the
+// re-run a resume); everything else is a terminal failure, with the
+// recovered stack in the record when a panic caused it.
+func (s *Server) failLocked(j *job, err error) {
+	class, stack := classify(err)
+	j.st.LastFailure = err.Error()
+	j.st.FailureClass = class
+	s.lastErr[j.st.Spec.Tenant] = err.Error()
+	if class == failureTransient && s.cfg.RetryMax > 0 && j.st.Retries < s.cfg.RetryMax && !s.closed {
+		j.st.Retries++
+		j.st.State = StateQueued
+		delay := s.cfg.retryDelay(frame.Fingerprint([]byte(j.st.ID)), j.st.Retries)
+		j.st.NextRetryMS = time.Now().UnixMilli() + delay.Milliseconds()
+		if werr := s.writeJobLocked(j); werr != nil {
+			s.cfg.Logf("service: persist job %s: %v", j.st.ID, werr)
+		}
+		s.cfg.Logf("service: job %s transient failure (retry %d/%d in %v): %v",
+			j.st.ID, j.st.Retries, s.cfg.RetryMax, delay, err)
+		j.retryTimer = time.AfterFunc(delay, func() { s.retryReady(j) })
+		return
+	}
+	j.st.Error = err.Error()
+	j.st.Stack = stack
+	s.finishLocked(j, StateFailed)
+	s.cfg.Logf("service: job %s failed (%s): %v", j.st.ID, class, err)
+}
+
+// retryReady fires when a job's backoff delay elapses: the job goes
+// back in its tenant's queue and the scheduler gets a chance to run it.
+func (s *Server) retryReady(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.retryTimer = nil
+	if s.closed || j.st.State != StateQueued || j.st.NextRetryMS == 0 {
+		return
+	}
+	j.st.NextRetryMS = 0
+	if werr := s.writeJobLocked(j); werr != nil {
+		s.cfg.Logf("service: persist job %s: %v", j.st.ID, werr)
+	}
+	s.enqueueLocked(j)
+	s.dispatchLocked()
+}
+
+// executeRecovered runs the job's engine under recover: a panic on this
+// goroutine (protocol code runs in engine workers, but resolver and
+// setup code runs here) becomes a classified permanent failure instead
+// of a dead daemon.  Worker-goroutine panics are recovered inside the
+// engine itself and arrive as *explore.PanicError through err.
+func (s *Server) executeRecovered(j *job) (rep *valency.Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rep = nil
+			err = &panicFailure{val: fmt.Sprintf("%v", r), stack: string(debug.Stack())}
+		}
+	}()
+	if s.testHook != nil {
+		s.testHook(&j.st.Spec)
+	}
+	return s.execute(&j.st.Spec, j.st.ID, j.stop)
+}
+
 // execute runs the job on its chosen engine.  Both paths checkpoint
 // into the job's directory and resume from whatever cut they find
-// there, so execute after a crash or drain continues, never restarts.
-func (s *Server) execute(spec *JobSpec, id string) (*valency.Report, error) {
+// there, so execute after a crash, drain, timeout or retry continues,
+// never restarts.
+func (s *Server) execute(spec *JobSpec, id string, stop <-chan struct{}) (*valency.Report, error) {
 	proto, err := dist.Resolve(spec.ProtoSpec())
 	if err != nil {
 		return nil, err
@@ -426,7 +821,7 @@ func (s *Server) execute(spec *JobSpec, id string) (*valency.Report, error) {
 			Shards:          16,
 			CheckpointPath:  filepath.Join(s.jobDir(id), "dist.ckpt"),
 			CheckpointEvery: s.cfg.DistCheckpointEvery,
-			Interrupt:       s.interrupt,
+			Interrupt:       stop,
 			Valency: valency.Options{
 				MaxConfigs: spec.Budget,
 				NoSymmetry: spec.NoSymmetry,
@@ -452,7 +847,7 @@ func (s *Server) execute(spec *JobSpec, id string) (*valency.Report, error) {
 		SpillCheckpointEvery: int64(s.cfg.SpillCheckpointEvery),
 		Interrupt: func() bool {
 			select {
-			case <-s.interrupt:
+			case <-stop:
 				return true
 			default:
 				return false
@@ -490,6 +885,53 @@ func (s *Server) Jobs() []JobStatus {
 
 // Artifact returns a stored verdict document by content address.
 func (s *Server) Artifact(hash string) ([]byte, error) { return s.store.Get(hash) }
+
+// Health reports the daemon's state for GET /v1/healthz: draining once
+// Close has begun, degraded while transient failures are being retried
+// (a job waits in backoff, or a running job has recorded retries),
+// otherwise ok — plus per-tenant depths, retry counters and the last
+// failure message.
+func (s *Server) Health() Health {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := Health{Status: HealthOK, Tenants: make(map[string]TenantHealth)}
+	if s.closed {
+		h.Status = HealthDraining
+	}
+	degraded := false
+	for _, j := range s.jobs {
+		t := j.st.Spec.Tenant
+		th := h.Tenants[t]
+		th.Retries += int64(j.st.Retries)
+		switch j.st.State {
+		case StateQueued:
+			h.Queued++
+			th.Queued++
+			if j.st.NextRetryMS != 0 {
+				th.Retrying++
+				degraded = true
+			}
+		case StateRunning:
+			h.Running++
+			th.Running++
+			if j.st.Retries > 0 {
+				degraded = true
+			}
+		case StateFailed:
+			th.Failures++
+		}
+		h.Tenants[t] = th
+	}
+	for t, msg := range s.lastErr {
+		th := h.Tenants[t]
+		th.LastError = msg
+		h.Tenants[t] = th
+	}
+	if degraded && h.Status == HealthOK {
+		h.Status = HealthDegraded
+	}
+	return h
+}
 
 // WaitChange blocks until job id's version exceeds since, the job
 // reaches a terminal state, or the server closes; it returns the
@@ -535,8 +977,10 @@ func (s *Server) Queued() (queued, running int) {
 
 // Close drains the server: the scheduler stops, every running engine
 // is interrupted and writes a final checkpoint, interrupted jobs go
-// back to the queue as persisted records, and Close returns once no
-// job is running.  A later New over the same DataDir resumes them.
+// back to the queue as persisted records, pending deadline and retry
+// timers are stopped (their jobs stay queued; a restart re-arms or
+// re-enqueues), and Close returns once no job is running.  A later New
+// over the same DataDir resumes them.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -544,7 +988,17 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
-	close(s.interrupt)
+	for _, j := range s.jobs {
+		s.stopRunLocked(j, stopShutdown)
+		if j.deadlineTimer != nil {
+			j.deadlineTimer.Stop()
+			j.deadlineTimer = nil
+		}
+		if j.retryTimer != nil {
+			j.retryTimer.Stop()
+			j.retryTimer = nil
+		}
+	}
 	for s.active > 0 {
 		s.idle.Wait()
 	}

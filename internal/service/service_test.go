@@ -408,8 +408,12 @@ func TestEndToEndLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := &Client{Base: "http://checkd", HTTP: Inproc(Handler(s))}
-	if err := c.Health(); err != nil {
+	h, err := c.Health()
+	if err != nil {
 		t.Fatal(err)
+	}
+	if h.Status != HealthOK {
+		t.Fatalf("fresh daemon health %q, want %q", h.Status, HealthOK)
 	}
 
 	specs := []JobSpec{

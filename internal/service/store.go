@@ -6,6 +6,7 @@ import (
 	"io"
 	iofs "io/fs"
 	"path/filepath"
+	"strings"
 	"sync"
 
 	"randsync/internal/frame"
@@ -40,9 +41,16 @@ type Store struct {
 	mu     sync.Mutex
 	puts   int64 // documents actually written
 	dedups int64 // Put calls answered by an existing identical file
+	swept  int64 // orphaned temp files removed at open
 }
 
-// NewStore opens (creating if needed) the artifact store rooted at dir.
+// NewStore opens (creating if needed) the artifact store rooted at dir
+// and sweeps any orphaned write-temporaries: WriteFileAtomic stages
+// every Put at <hash>.art.tmp before the rename, so a kill between the
+// two leaves a stray .tmp that is never an artifact — deleting it is
+// always safe and keeps the directory from accreting garbage across
+// crash/restart cycles.  The sweep is best-effort: a file that cannot
+// be removed is skipped, not fatal.
 func NewStore(dir string, fsys frame.FS) (*Store, error) {
 	if fsys == nil {
 		fsys = frame.OS{}
@@ -50,7 +58,26 @@ func NewStore(dir string, fsys frame.FS) (*Store, error) {
 	if err := fsys.MkdirAll(dir); err != nil {
 		return nil, fmt.Errorf("service: create artifact dir: %w", err)
 	}
-	return &Store{dir: dir, fs: fsys}, nil
+	s := &Store{dir: dir, fs: fsys}
+	if ents, err := fsys.ReadDir(dir); err == nil {
+		for _, e := range ents {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".tmp") {
+				continue
+			}
+			if fsys.Remove(filepath.Join(dir, e.Name())) == nil {
+				s.swept++
+			}
+		}
+	}
+	return s, nil
+}
+
+// Swept reports how many orphaned temp files the open-time sweep
+// removed.
+func (s *Store) Swept() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.swept
 }
 
 // ArtifactHash is the content address of a document: its FNV-1a 64
@@ -121,19 +148,22 @@ func (s *Store) get(hash string) ([]byte, error) {
 		return nil, err
 	}
 	defer f.Close()
+	// Corruption errors name the offending file: an operator staring at
+	// a tamper report should not have to reconstruct the path from the
+	// hash and the store layout.
 	typ, payload, err := frame.Read(f)
 	if err != nil {
-		return nil, fmt.Errorf("service: artifact %s is corrupt: %w", hash, err)
+		return nil, fmt.Errorf("service: artifact %s (%s) is corrupt: %w", hash, s.path(hash), err)
 	}
 	if typ != frameArtifact {
-		return nil, fmt.Errorf("service: artifact %s has frame type %#x", hash, typ)
+		return nil, fmt.Errorf("service: artifact %s (%s) has frame type %#x", hash, s.path(hash), typ)
 	}
 	var one [1]byte
 	if n, _ := f.Read(one[:]); n != 0 {
-		return nil, fmt.Errorf("service: artifact %s has trailing bytes", hash)
+		return nil, fmt.Errorf("service: artifact %s (%s) has trailing bytes", hash, s.path(hash))
 	}
 	if ArtifactHash(payload) != hash {
-		return nil, fmt.Errorf("service: artifact %s fails content verification", hash)
+		return nil, fmt.Errorf("service: artifact %s (%s) fails content verification", hash, s.path(hash))
 	}
 	return payload, nil
 }

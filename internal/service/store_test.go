@@ -4,6 +4,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"randsync/internal/fault"
@@ -100,6 +101,8 @@ func TestStoreTamperDetected(t *testing.T) {
 	}
 	if _, err := st.Get(hash); err == nil {
 		t.Fatal("bit-flipped artifact served without error")
+	} else if !strings.Contains(err.Error(), path) {
+		t.Fatalf("corruption error does not name the offending file:\n%v", err)
 	}
 
 	// A valid frame filed under the wrong address fails the content
@@ -110,6 +113,8 @@ func TestStoreTamperDetected(t *testing.T) {
 	}
 	if _, err := st.Get(wrong); err == nil {
 		t.Fatal("misfiled artifact served without error")
+	} else if !strings.Contains(err.Error(), wrong+".art") {
+		t.Fatalf("tamper error does not name the offending file:\n%v", err)
 	}
 
 	if err := os.WriteFile(path, append(raw, 0xde), 0o644); err != nil {
@@ -117,6 +122,52 @@ func TestStoreTamperDetected(t *testing.T) {
 	}
 	if _, err := st.Get(hash); err == nil {
 		t.Fatal("trailing-garbage artifact served without error")
+	} else if !strings.Contains(err.Error(), path) {
+		t.Fatalf("trailing-garbage error does not name the offending file:\n%v", err)
+	}
+}
+
+// TestStoreSweepsOrphanedTmp: a crash between staging and rename leaves
+// a *.tmp file behind; reopening the store removes it (the content is
+// unaddressed and unverifiable) and reports the count, while finished
+// artifacts and foreign files survive the sweep.
+func TestStoreSweepsOrphanedTmp(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, _, err := st.Put([]byte("finished artifact"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	orphans := []string{hash + ".art.tmp", "deadbeefcafef00d.art.tmp"}
+	for _, name := range orphans {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("half-written"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "NOTES"), []byte("keep me"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := NewStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st2.Swept(); got != int64(len(orphans)) {
+		t.Fatalf("Swept() = %d, want %d", got, len(orphans))
+	}
+	for _, name := range orphans {
+		if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
+			t.Fatalf("orphan %s survived the sweep (err=%v)", name, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "NOTES")); err != nil {
+		t.Fatalf("foreign file swept: %v", err)
+	}
+	if got, err := st2.Get(hash); err != nil || string(got) != "finished artifact" {
+		t.Fatalf("finished artifact damaged by sweep: %q, %v", got, err)
 	}
 }
 

@@ -1,0 +1,211 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSubmitStormQuotaFairness is the submit-storm drill: N tenants
+// fire M concurrent submissions each at a paused MaxActive=1 daemon
+// with a per-tenant queue cap.  Exactly cap jobs per tenant are
+// accepted and the rest get QuotaErrors; nothing is lost or
+// duplicated; and once the scheduler runs, completions interleave
+// tenants round-robin — in every prefix of the completion order the
+// tenants' counts differ by at most one.
+func TestSubmitStormQuotaFairness(t *testing.T) {
+	const (
+		tenantCount = 3
+		perTenant   = 8 // submissions per tenant
+		quota       = 4 // MaxQueuedPerTenant
+	)
+	s, err := New(Config{
+		DataDir: t.TempDir(), MaxActive: 1, Workers: 1, Paused: true,
+		MaxQueuedPerTenant: quota,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	tenants := make([]string, tenantCount)
+	for i := range tenants {
+		tenants[i] = fmt.Sprintf("tenant%d", i)
+	}
+
+	type result struct {
+		id  string
+		err error
+	}
+	results := make([][]result, tenantCount)
+	var wg sync.WaitGroup
+	for ti, tenant := range tenants {
+		results[ti] = make([]result, perTenant)
+		for m := 0; m < perTenant; m++ {
+			wg.Add(1)
+			go func(ti, m int, tenant string) {
+				defer wg.Done()
+				st, dup, err := s.Submit(testSpec(tenant, uint64(m+1)))
+				if dup {
+					err = errors.New("storm submission reported duplicate")
+				}
+				results[ti][m] = result{id: st.ID, err: err}
+			}(ti, m, tenant)
+		}
+	}
+	wg.Wait()
+
+	accepted := make(map[string]bool)
+	for ti, tenant := range tenants {
+		ok, rejected := 0, 0
+		for _, r := range results[ti] {
+			switch {
+			case r.err == nil:
+				if accepted[r.id] {
+					t.Fatalf("job %s accepted twice", r.id)
+				}
+				accepted[r.id] = true
+				ok++
+			default:
+				var qe *QuotaError
+				if !errors.As(r.err, &qe) {
+					t.Fatalf("%s: unexpected submit error: %v", tenant, r.err)
+				}
+				if qe.Tenant != tenant || qe.RetryAfter <= 0 {
+					t.Fatalf("%s: malformed quota error: %+v", tenant, qe)
+				}
+				rejected++
+			}
+		}
+		if ok != quota || rejected != perTenant-quota {
+			t.Fatalf("%s: %d accepted / %d rejected, want %d / %d",
+				tenant, ok, rejected, quota, perTenant-quota)
+		}
+	}
+
+	// The daemon holds exactly the accepted set — no losses, no strays.
+	jobs := s.Jobs()
+	if len(jobs) != len(accepted) {
+		t.Fatalf("daemon lists %d jobs, %d were accepted", len(jobs), len(accepted))
+	}
+	for _, st := range jobs {
+		if !accepted[st.ID] {
+			t.Fatalf("daemon lists job %s no submission created", st.ID)
+		}
+	}
+
+	s.Resume()
+	for id := range accepted {
+		if got := waitDone(t, s, id); got.State != StateDone || got.Runs != 1 {
+			t.Fatalf("job %s: state=%s runs=%d (%s)", id, got.State, got.Runs, got.Error)
+		}
+	}
+
+	// Round-robin fairness: order completions by Seq and require every
+	// prefix to be balanced across tenants within one job.
+	done := s.Jobs()
+	sort.Slice(done, func(a, b int) bool { return done[a].Seq < done[b].Seq })
+	counts := make(map[string]int)
+	for i, st := range done {
+		counts[st.Spec.Tenant]++
+		min, max := perTenant, 0
+		for _, tenant := range tenants {
+			if c := counts[tenant]; c < min {
+				min = c
+			}
+			if c := counts[tenant]; c > max {
+				max = c
+			}
+		}
+		// Until a tenant's queue drains, no tenant may be two ahead.
+		if i < tenantCount*quota && max-min > 1 {
+			t.Fatalf("completion prefix %d unbalanced: %v", i+1, counts)
+		}
+	}
+}
+
+// TestGlobalQueueBound: the daemon-wide queue cap rejects the
+// overflowing submission regardless of tenant.
+func TestGlobalQueueBound(t *testing.T) {
+	s, err := New(Config{DataDir: t.TempDir(), Paused: true, MaxQueue: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 2; i++ {
+		if _, _, err := s.Submit(testSpec(fmt.Sprintf("t%d", i), 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, err = s.Submit(testSpec("t2", 1))
+	var qe *QuotaError
+	if !errors.As(err, &qe) || qe.Tenant != "" {
+		t.Fatalf("overflow submit: err=%v, want global QuotaError", err)
+	}
+}
+
+// TestClientHonorsRetryAfter: an over-quota submission answers 429 +
+// Retry-After; a client with a QuotaWait budget sleeps it out and
+// succeeds once the queue frees, while a client without one surfaces
+// the 429 immediately.
+func TestClientHonorsRetryAfter(t *testing.T) {
+	s, err := New(Config{
+		DataDir: t.TempDir(), MaxActive: 1, Workers: 1, Paused: true,
+		MaxQueuedPerTenant: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Count 429s at the transport so the obedient client's internal
+	// retries are observable.
+	var rejections atomic.Int64
+	inner := Inproc(Handler(s))
+	c := &Client{Base: "http://checkd", HTTP: &http.Client{
+		Transport: roundTripFunc(func(r *http.Request) (*http.Response, error) {
+			resp, err := inner.Transport.RoundTrip(r)
+			if err == nil && resp.StatusCode == http.StatusTooManyRequests {
+				rejections.Add(1)
+			}
+			return resp, err
+		}),
+	}}
+
+	if _, err := c.Submit(testSpec("alice", 1)); err != nil {
+		t.Fatal(err)
+	}
+	// The quota is now full; an impatient client sees the rejection.
+	_, err = c.Submit(testSpec("alice", 2))
+	ae, ok := err.(*APIError)
+	if !ok || ae.Status != http.StatusTooManyRequests || ae.RetryAfter <= 0 {
+		t.Fatalf("over-quota submit: err=%v, want 429 with Retry-After", err)
+	}
+
+	// Free the queue shortly; the patient client waits the advertised
+	// delay and lands the job.
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		s.Resume()
+	}()
+	c.QuotaWait = 30 * time.Second
+	sr, err := c.Submit(testSpec("alice", 2))
+	if err != nil {
+		t.Fatalf("patient submit: %v", err)
+	}
+	if rejections.Load() < 2 {
+		t.Fatalf("transport saw %d rejections, want the patient client to have been told to wait", rejections.Load())
+	}
+	if got := waitDone(t, s, sr.Job.ID); got.State != StateDone {
+		t.Fatalf("patient job: %s (%s)", got.State, got.Error)
+	}
+}
+
+type roundTripFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }

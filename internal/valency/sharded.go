@@ -151,6 +151,15 @@ func checkSharded(proto sim.Protocol, inputs []int64, opts Options) *Report {
 			}
 		})
 
+	if pe, ok := res.Err.(*explore.PanicError); ok {
+		// The RAM-tier entry points predate error returns: a protocol
+		// panic here used to kill the process outright.  Keep that
+		// contract for direct callers — the spill tier returns the
+		// recovered panic as an error instead, and the service above it
+		// classifies that as a permanent job failure.
+		panic(pe)
+	}
+
 	if violated.Load() {
 		return checkSerial(proto, inputs, opts)
 	}

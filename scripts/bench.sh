@@ -65,8 +65,19 @@
 # service may add latency, never change what was explored — and the
 # per-job overhead ratio is recorded as the price of the service layer.
 #
-# Usage: scripts/bench.sh [output.json] [dist-output.json] [recovery-output.json] [scaling-output.json] [spill-output.json] [service-output.json]
-#        (defaults: BENCH_pr3.json BENCH_pr4.json BENCH_pr5.json BENCH_pr6.json BENCH_pr7.json BENCH_pr9.json)
+# A seventh stage runs BenchmarkRetryOverhead (internal/service) and
+# emits BENCH_pr10.json: the same job run through a healthy daemon
+# versus one whose disk deterministically fails the first spill write
+# of every job, forcing one classified transient failure + capped
+# backoff + checkpoint-resumed re-execution per iteration.  The
+# acceptance check is configuration-count equality between the clean
+# and retry paths — a retry may cost time, never change the verdict —
+# plus proof the retry path actually retried (retries/op >= 1); the
+# retry-vs-clean overhead ratio is recorded as the price of the
+# failure-recovery machinery.
+#
+# Usage: scripts/bench.sh [output.json] [dist-output.json] [recovery-output.json] [scaling-output.json] [spill-output.json] [service-output.json] [retry-output.json]
+#        (defaults: BENCH_pr3.json BENCH_pr4.json BENCH_pr5.json BENCH_pr6.json BENCH_pr7.json BENCH_pr9.json BENCH_pr10.json)
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -76,12 +87,14 @@ recout="${3:-BENCH_pr5.json}"
 scaleout="${4:-BENCH_pr6.json}"
 spillout="${5:-BENCH_pr7.json}"
 svcout="${6:-BENCH_pr9.json}"
+retryout="${7:-BENCH_pr10.json}"
 raw="$(mktemp)"
 distraw="$(mktemp)"
 recraw="$(mktemp)"
 spillraw="$(mktemp)"
 svcraw="$(mktemp)"
-trap 'rm -f "$raw" "$distraw" "$recraw" "$spillraw" "$svcraw"' EXIT
+retryraw="$(mktemp)"
+trap 'rm -f "$raw" "$distraw" "$recraw" "$spillraw" "$svcraw" "$retryraw"' EXIT
 
 cores="$( (nproc || getconf _NPROCESSORS_ONLN || echo 1) 2>/dev/null | head -1 )"
 
@@ -517,3 +530,58 @@ if ! grep -q '"pass": true' "$svcout"; then
 	exit 1
 fi
 echo "bench.sh: service acceptance passed"
+
+# ---- retry stage: healthy daemon vs forced transient failure + retry ----
+echo "== ./internal/service retry (-benchtime=3x)" >&2
+go test -run=NONE -bench='^BenchmarkRetryOverhead' -benchtime=3x -timeout 20m ./internal/service | tee "$retryraw" >&2
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+function jnum(v) { return (v == int(v)) ? sprintf("%.0f", v) : sprintf("%.6g", v) }
+/^goos: /  { goos = $2 }
+/^goarch: / { goarch = $2 }
+/^cpu: /   { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	iters = $2
+	m = ""
+	for (i = 3; i + 1 <= NF; i += 2) {
+		val = $(i); unit = $(i + 1)
+		if (m != "") m = m ", "
+		m = m sprintf("\"%s\": %s", unit, jnum(val))
+		metric[name, unit] = val
+	}
+	if (benches != "") benches = benches ",\n"
+	benches = benches sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"metrics\": {%s}}", name, iters, m)
+}
+END {
+	printf "{\n"
+	printf "  \"generated\": \"%s\",\n", date
+	printf "  \"host\": {\"goos\": \"%s\", \"goarch\": \"%s\", \"cpu\": \"%s\"},\n", goos, goarch, cpu
+	printf "  \"benchmarks\": [\n%s\n  ],\n", benches
+	root = "BenchmarkRetryOverhead/path="
+	clean = root "clean"; retry = root "retry"
+	have = ((clean, "configs") in metric) && ((retry, "configs") in metric)
+	equal = have && (metric[clean, "configs"] == metric[retry, "configs"])
+	retried = have && (metric[retry, "retries/op"] >= 1)
+	overhead = (have && metric[clean, "ns/op"] > 0) ? metric[retry, "ns/op"] / metric[clean, "ns/op"] : 0
+	printf "  \"acceptance\": {\n"
+	printf "    \"benchmark\": \"BenchmarkRetryOverhead\",\n"
+	printf "    \"workload\": \"counter-walk n=2, mem-budget 4096 (forced eviction); retry path fails the first spill write of every job, exhausting the engine IO retry and forcing one classified service-level retry\",\n"
+	printf "    \"criterion\": \"the retried job explores the identical configuration count as the clean run, same run, and the retry path actually retried (retries/op >= 1); the retry overhead ratio is recorded\",\n"
+	printf "    \"clean_configs\": %s,\n", have ? jnum(metric[clean, "configs"]) : "null"
+	printf "    \"retry_configs\": %s,\n", have ? jnum(metric[retry, "configs"]) : "null"
+	printf "    \"retries_per_op\": %s,\n", have ? jnum(metric[retry, "retries/op"]) : "null"
+	printf "    \"retry_vs_clean_overhead\": %.3f,\n", overhead
+	printf "    \"pass\": %s\n", (equal && retried) ? "true" : "false"
+	printf "  }\n"
+	printf "}\n"
+}
+' "$retryraw" > "$retryout"
+
+echo "wrote $retryout"
+if ! grep -q '"pass": true' "$retryout"; then
+	echo "bench.sh: FAILED retry acceptance — the retried job and the clean run disagree on configuration count, or no retry happened" >&2
+	exit 1
+fi
+echo "bench.sh: retry acceptance passed"

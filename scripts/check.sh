@@ -116,6 +116,40 @@ addr="http://$(cat "$svcdir/addr2")"
 kill -TERM "$checkd_pid"
 wait "$checkd_pid"
 rm -rf "$svcdir"
+stage="service chaos (lifecycle drill)"
+# The job-lifecycle hardening, in two parts.  First the focused race
+# pass over deadlines, cancellation, classified retry with backoff,
+# tenant quotas, panic isolation, the submit storm and the end-to-end
+# service chaos soak (seeded disk faults + engine kill + deadline and
+# cancel storms across two tenants).  Then the live-daemon drill: a
+# 1-second deadline on a multi-second job must land it in the timeout
+# state, a cancelled job must land in cancelled, and the daemon must
+# answer "ok" on /v1/healthz throughout.
+go test -race -short -count=1 -timeout 15m \
+	-run 'TestServiceChaosSoak|TestDeadlineTimesOutRunningJob|TestDeadlineTimesOutQueuedJob|TestCancelQueuedJob|TestCancelRunningJob|TestTransientFailureRetriesToSerialVerdict|TestRetryBudgetExhausted|TestPanicIsolation|TestSubmitStormQuotaFairness|TestGlobalQueueBound|TestClientHonorsRetryAfter|TestRunShardedWorkerPanic' \
+	./internal/service/ ./internal/explore/
+lcdir="$(mktemp -d)"
+go build -o "$lcdir/checkd" ./cmd/checkd
+go build -o "$lcdir/distcheck" ./cmd/distcheck
+"$lcdir/checkd" -data "$lcdir/data" -listen 127.0.0.1:0 -addr-file "$lcdir/addr" \
+	-max-active 2 -workers 1 &
+lc_pid=$!
+for _ in $(seq 1 100); do [ -s "$lcdir/addr" ] && break; sleep 0.1; done
+lcaddr="http://$(cat "$lcdir/addr")"
+# Deadline: a 1s budget on a multi-minute n=4 job reliably expires; the
+# CLI reports the timeout state (grep owns the pipeline status, so
+# distcheck's deliberate non-zero exit does not trip set -e).
+"$lcdir/distcheck" -submit "$lcaddr" -tenant drill -protocol counter-walk -n 4 \
+	-job-deadline 1 2>&1 | grep -q "hit its deadline"
+# Cancel: a second slow job (distinct seed, distinct job id) is
+# cancelled mid-flight and must finish in the cancelled state.
+cjob="$("$lcdir/distcheck" -submit "$lcaddr" -tenant drill -protocol counter-walk -n 4 -seed 9 -async)"
+"$lcdir/distcheck" -submit "$lcaddr" -cancel-job "$cjob" | grep -Eq "cancelled|running"
+"$lcdir/distcheck" -submit "$lcaddr" -wait-job "$cjob" 2>&1 | grep -q "was cancelled"
+"$lcdir/distcheck" -ping "$lcaddr" | grep -q "ok"
+kill -TERM "$lc_pid"
+wait "$lc_pid"
+rm -rf "$lcdir"
 stage="bench smoke"
 # One iteration of every benchmark: keeps the benchmark suites compiling
 # and their invariant checks (clean-verification assertions) honest
